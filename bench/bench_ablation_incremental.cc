@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the O(m) incremental objective
+// updates of Corollary 1 against O(|C| m) recomputation from scratch, the
+// closed-form expected distances against sample integration, and the cost
+// of one UCPC relocation pass. These quantify the constants behind
+// Proposition 5's complexity claim.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "clustering/cluster_stats.h"
+#include "clustering/ucpc.h"
+#include "common/rng.h"
+#include "data/uncertainty_model.h"
+#include "uncertain/expected_distance.h"
+#include "uncertain/moments.h"
+#include "uncertain/sample_cache.h"
+
+namespace {
+
+using namespace uclust;  // NOLINT: bench brevity
+using clustering::ClusterMoments;
+using uncertain::MomentMatrix;
+
+MomentMatrix RandomMoments(std::size_t n, std::size_t m, uint64_t seed) {
+  common::Rng rng(seed);
+  MomentMatrix mm(n, m);
+  std::vector<double> mean(m), mu2(m), var(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      mean[j] = rng.Uniform(-2.0, 2.0);
+      var[j] = rng.Uniform(0.01, 0.5);
+      mu2[j] = var[j] + mean[j] * mean[j];
+    }
+    mm.AppendRow(mean, mu2, var);
+  }
+  return mm;
+}
+
+// Corollary 1: evaluate J(C + o) in O(m) from the cluster aggregates.
+void BM_IncrementalObjectiveAfterAdd(benchmark::State& state) {
+  const std::size_t cluster_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const MomentMatrix mm = RandomMoments(cluster_size + 1, m, 42);
+  ClusterMoments c(m);
+  for (std::size_t i = 0; i < cluster_size; ++i) c.Add(mm, i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::ObjectiveAfterAdd(
+        clustering::ObjectiveKind::kUcpc, c, mm, cluster_size));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalObjectiveAfterAdd)
+    ->Args({16, 8})
+    ->Args({256, 8})
+    ->Args({4096, 8})
+    ->Args({256, 64});
+
+// The naive alternative: rebuild the aggregates of C + o from scratch.
+void BM_RecomputeObjectiveAfterAdd(benchmark::State& state) {
+  const std::size_t cluster_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const MomentMatrix mm = RandomMoments(cluster_size + 1, m, 42);
+  for (auto _ : state) {
+    ClusterMoments c(m);
+    for (std::size_t i = 0; i <= cluster_size; ++i) c.Add(mm, i);
+    benchmark::DoNotOptimize(clustering::UcpcObjective(c));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RecomputeObjectiveAfterAdd)
+    ->Args({16, 8})
+    ->Args({256, 8})
+    ->Args({4096, 8})
+    ->Args({256, 64});
+
+// Closed-form ED^ (Lemma 3) vs sample-integrated estimation: the efficiency
+// cornerstone separating the fast from the slow algorithm group.
+void BM_ClosedFormExpectedDistance(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<uncertain::PdfPtr> da, db;
+  for (std::size_t j = 0; j < m; ++j) {
+    da.push_back(data::MakeUncertainPdf(data::PdfFamily::kNormal,
+                                        0.1 * static_cast<double>(j), 0.3));
+    db.push_back(data::MakeUncertainPdf(data::PdfFamily::kUniform,
+                                        -0.1 * static_cast<double>(j), 0.2));
+  }
+  const uncertain::UncertainObject a(std::move(da));
+  const uncertain::UncertainObject b(std::move(db));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uncertain::ExpectedSquaredDistance(a, b));
+  }
+}
+BENCHMARK(BM_ClosedFormExpectedDistance)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SampledExpectedDistance(benchmark::State& state) {
+  const std::size_t m = 16;
+  const int samples = static_cast<int>(state.range(0));
+  std::vector<uncertain::UncertainObject> objs;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<uncertain::PdfPtr> dims;
+    for (std::size_t j = 0; j < m; ++j) {
+      dims.push_back(
+          data::MakeUncertainPdf(data::PdfFamily::kNormal, 0.0, 0.3));
+    }
+    objs.emplace_back(std::move(dims));
+  }
+  const uncertain::SampleCache cache(objs, samples, 7);
+  const std::vector<double> y(m, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.ExpectedSquaredDistanceToPoint(0, y));
+  }
+}
+BENCHMARK(BM_SampledExpectedDistance)->Arg(8)->Arg(32)->Arg(128);
+
+// One full UCPC run on n objects: the O(I k n m) online phase.
+void BM_UcpcRun(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const MomentMatrix mm = RandomMoments(n, 8, 99);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::Ucpc::RunOnMoments(mm, k, seed++));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UcpcRun)->Args({1000, 5})->Args({4000, 5})->Args({16000, 5});
+
+}  // namespace
+// main() is provided by benchmark::benchmark_main.

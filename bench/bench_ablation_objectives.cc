@@ -1,0 +1,138 @@
+// Ablation: numeric verification of the paper's objective-function
+// identities over random clusters, plus an end-to-end ablation of the
+// local-search objective (UCPC's J vs the UK-means J_UK run through the
+// *same* relocation engine) isolating the value of the variance term.
+//
+//   Proposition 2:  J_MM(C) = J_UK(C) / |C|
+//   Proposition 3:  J^(C)   = 2 J_UK(C)
+//   Theorem 2:      sigma^2(U-centroid) = |C|^-2 sum_i sigma^2(o_i)
+//   Theorem 3:      J(C) = |C|^-1 sum_i sigma^2(o_i) + J_UK(C)
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "clustering/cluster_stats.h"
+#include "clustering/local_search.h"
+#include "common/cli.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "eval/external.h"
+#include "uncertain/moments.h"
+
+namespace {
+using namespace uclust;  // NOLINT: bench brevity
+using clustering::ClusterMoments;
+using uncertain::MomentMatrix;
+
+MomentMatrix RandomCluster(std::size_t n, std::size_t m, common::Rng* rng) {
+  MomentMatrix mm(n, m);
+  std::vector<double> mean(m), mu2(m), var(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto family = static_cast<data::PdfFamily>(rng->UniformInt(0, 2));
+      const auto pdf = data::MakeUncertainPdf(family, rng->Uniform(-3, 3),
+                                              rng->Uniform(0.05, 1.0));
+      mean[j] = pdf->mean();
+      mu2[j] = pdf->second_moment();
+      var[j] = pdf->variance();
+    }
+    mm.AppendRow(mean, mu2, var);
+  }
+  return mm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const int trials = static_cast<int>(args.GetInt("trials", 200));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  common::Rng rng(seed);
+
+  std::printf("=== Ablation A: objective-function identities over %d random "
+              "clusters ===\n",
+              trials);
+  double worst_p2 = 0.0, worst_p3 = 0.0, worst_t2 = 0.0, worst_t3 = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t n = 2 + rng.Index(40);
+    const std::size_t m = 1 + rng.Index(8);
+    const MomentMatrix mm = RandomCluster(n, m, &rng);
+    ClusterMoments c(m);
+    double sum_var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c.Add(mm, i);
+      sum_var += mm.total_variance(i);
+    }
+    const double juk = clustering::UkmeansObjective(c);
+    const double jmm = clustering::MmvarObjective(c);
+    const double j = clustering::UcpcObjective(c);
+    const double dn = static_cast<double>(n);
+    // Proposition 2.
+    worst_p2 = std::max(worst_p2, std::fabs(jmm - juk / dn) / (1.0 + juk));
+    // Proposition 3 (J^ via the mixture moments = 2 J_UK).
+    double j_hat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < m; ++d) {
+        const double mu_mm = c.sum_mu()[d] / dn;
+        const double mu2_mm = c.sum_mu2()[d] / dn;
+        j_hat +=
+            mm.second_moment(i)[d] - 2.0 * mm.mean(i)[d] * mu_mm + mu2_mm;
+      }
+    }
+    worst_p3 =
+        std::max(worst_p3, std::fabs(j_hat - 2.0 * juk) / (1.0 + j_hat));
+    // Theorem 2 (U-centroid variance via aggregates).
+    const double ucentroid_var = common::Sum(c.sum_var()) / (dn * dn);
+    worst_t2 = std::max(
+        worst_t2,
+        std::fabs(ucentroid_var - sum_var / (dn * dn)) / (1.0 + ucentroid_var));
+    // Theorem 3 decomposition.
+    worst_t3 =
+        std::max(worst_t3, std::fabs(j - (sum_var / dn + juk)) / (1.0 + j));
+  }
+  std::printf("  Prop 2  max rel deviation: %.3e\n", worst_p2);
+  std::printf("  Prop 3  max rel deviation: %.3e\n", worst_p3);
+  std::printf("  Thm 2   max rel deviation: %.3e\n", worst_t2);
+  std::printf("  Thm 3   max rel deviation: %.3e\n", worst_t3);
+
+  std::printf("\n=== Ablation B: same local-search engine, different "
+              "objective (value of the variance term) ===\n");
+  std::printf("%-10s %-12s | %10s %10s %10s\n", "dataset", "pdf", "F(J_UK)",
+              "F(J_MM)", "F(J UCPC)");
+  for (const char* name : {"Iris", "Glass", "Ecoli"}) {
+    const auto source = data::MakeBenchmarkDataset(name, seed).ValueOrDie();
+    for (auto family : {data::PdfFamily::kNormal,
+                        data::PdfFamily::kExponential}) {
+      data::UncertaintyParams up;
+      up.family = family;
+      up.min_scale_frac = 0.05;
+      up.max_scale_frac = 0.20;  // pronounced uncertainty
+      const auto ds = data::UncertaintyModel(source, up, seed + 2).Uncertain();
+      double f[3] = {0.0, 0.0, 0.0};
+      const clustering::ObjectiveKind kinds[3] = {
+          clustering::ObjectiveKind::kUkmeans,
+          clustering::ObjectiveKind::kMmvar,
+          clustering::ObjectiveKind::kUcpc};
+      const int runs = 5;
+      for (int r = 0; r < runs; ++r) {
+        for (int a = 0; a < 3; ++a) {
+          clustering::LocalSearchParams params;
+          params.objective = kinds[a];
+          common::Rng ls_rng(seed + 100 + r);
+          const auto out = clustering::RunLocalSearch(
+              ds.moments(), source.num_classes, params, &ls_rng);
+          f[a] += eval::FMeasure(ds.labels(), out.labels);
+        }
+      }
+      std::printf("%-10s %-12s | %10.3f %10.3f %10.3f\n", name,
+                  data::PdfFamilyName(family), f[0] / runs, f[1] / runs,
+                  f[2] / runs);
+    }
+  }
+  std::printf("\nIdentities should hold to ~1e-12; Ablation B shows how the "
+              "variance-aware J behaves\nunder identical search dynamics "
+              "(the paper's Section 3 and 4 arguments).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "clustering/clusterer.h"
+
+#include <map>
+
+namespace uclust::clustering {
+
+Clusterer::~Clusterer() = default;
+
+int CountClusters(const std::vector<int>& labels) {
+  std::map<int, bool> seen;
+  for (int l : labels) {
+    if (l >= 0) seen[l] = true;
+  }
+  return static_cast<int>(seen.size());
+}
+
+std::vector<std::size_t> ClusterSizes(const std::vector<int>& labels, int k) {
+  std::vector<std::size_t> sizes(k, 0);
+  for (int l : labels) {
+    if (l >= 0 && l < k) ++sizes[l];
+  }
+  return sizes;
+}
+
+std::vector<int> RelabelConsecutive(const std::vector<int>& labels) {
+  std::map<int, int> remap;
+  std::vector<int> out;
+  out.reserve(labels.size());
+  for (int l : labels) {
+    if (l < 0) {
+      out.push_back(l);
+      continue;
+    }
+    auto [it, inserted] = remap.emplace(l, static_cast<int>(remap.size()));
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace uclust::clustering

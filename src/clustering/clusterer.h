@@ -1,0 +1,68 @@
+// Common interface implemented by every clustering algorithm in the library,
+// plus the shared result type and small label utilities.
+#ifndef UCLUST_CLUSTERING_CLUSTERER_H_
+#define UCLUST_CLUSTERING_CLUSTERER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace uclust::clustering {
+
+/// Outcome of one clustering run.
+struct ClusteringResult {
+  /// Cluster id per object, in [0, clusters_found).
+  std::vector<int> labels;
+  /// Number of clusters requested (density-based algorithms may differ).
+  int k_requested = 0;
+  /// Number of distinct clusters in `labels`.
+  int clusters_found = 0;
+  /// Number of outer iterations / passes until convergence.
+  int iterations = 0;
+  /// Final value of the algorithm's own objective (NaN when undefined, e.g.
+  /// for density-based algorithms).
+  double objective = 0.0;
+  /// Wall-clock time of the online clustering phase, in milliseconds
+  /// (excludes offline precomputation such as sample drawing or pairwise
+  /// distance tables, matching the paper's measurement protocol).
+  double online_ms = 0.0;
+  /// Wall-clock time of the offline phase, in milliseconds.
+  double offline_ms = 0.0;
+  /// Number of expensive (sample-integrated) expected-distance evaluations;
+  /// the quantity the pruning techniques minimize. 0 for closed-form
+  /// algorithms.
+  int64_t ed_evaluations = 0;
+  /// Objects labeled as noise before noise-policy mapping (density-based
+  /// algorithms only).
+  int noise_objects = 0;
+};
+
+/// Abstract clustering algorithm over uncertain datasets.
+class Clusterer {
+ public:
+  virtual ~Clusterer();
+
+  /// Algorithm display name (e.g. "UCPC", "UK-means").
+  virtual std::string name() const = 0;
+
+  /// Clusters `data` into (about) `k` clusters; `seed` drives every random
+  /// choice so runs are reproducible.
+  virtual ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                                   uint64_t seed) const = 0;
+};
+
+/// Number of distinct non-negative labels.
+int CountClusters(const std::vector<int>& labels);
+
+/// Sizes of clusters 0..k-1 (labels outside the range are ignored).
+std::vector<std::size_t> ClusterSizes(const std::vector<int>& labels, int k);
+
+/// Remaps labels onto 0..k'-1 preserving first-appearance order; negative
+/// labels (noise) are left untouched.
+std::vector<int> RelabelConsecutive(const std::vector<int>& labels);
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_CLUSTERER_H_

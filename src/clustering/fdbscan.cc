@@ -1,0 +1,147 @@
+#include "clustering/fdbscan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/stopwatch.h"
+#include "uncertain/expected_distance.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+
+namespace {
+
+// Median MinPts-nearest-neighbor distance over (a subsample of) the objects,
+// using sqrt of the closed-form expected distance as the proximity proxy.
+double AutoEps(const data::UncertainDataset& data, int min_pts,
+               common::Rng* rng) {
+  const std::size_t n = data.size();
+  const std::size_t probe_count = std::min<std::size_t>(n, 256);
+  std::vector<std::size_t> probes =
+      rng->SampleWithoutReplacement(n, probe_count);
+  std::vector<double> kth;
+  kth.reserve(probe_count);
+  std::vector<double> dists;
+  for (std::size_t i : probes) {
+    dists.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.push_back(std::sqrt(
+          uncertain::ExpectedSquaredDistance(data.object(i), data.object(j))));
+    }
+    const std::size_t rank =
+        std::min<std::size_t>(static_cast<std::size_t>(min_pts),
+                              dists.size()) -
+        1;
+    std::nth_element(dists.begin(), dists.begin() + rank, dists.end());
+    kth.push_back(dists[rank]);
+  }
+  std::nth_element(kth.begin(), kth.begin() + kth.size() / 2, kth.end());
+  return kth[kth.size() / 2];
+}
+
+}  // namespace
+
+double Fdbscan::AtLeastProbability(const std::vector<double>& probs,
+                                   int min_pts) {
+  assert(min_pts >= 0);
+  if (min_pts == 0) return 1.0;
+  const int cap = min_pts;  // track counts 0..cap, cap = "min_pts or more"
+  std::vector<double> state(static_cast<std::size_t>(cap) + 1, 0.0);
+  state[0] = 1.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    for (int c = cap; c >= 1; --c) {
+      const double from_prev = state[c - 1] * p;
+      if (c == cap) {
+        state[c] += from_prev;
+      } else {
+        state[c] = state[c] * (1.0 - p) + from_prev;
+      }
+    }
+    state[0] *= (1.0 - p);
+  }
+  return state[cap];
+}
+
+ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
+                                  int /*k*/, uint64_t seed) const {
+  const std::size_t n = data.size();
+  common::Rng rng(seed);
+
+  ClusteringResult result;
+  result.k_requested = 0;
+
+  // Offline: sample cache (the fuzzy-distance machinery's numeric basis).
+  common::Stopwatch offline;
+  const uncertain::SampleCache cache(data.objects(), params_.samples,
+                                     params_.sample_seed);
+  const double offline_ms = offline.ElapsedMs();
+
+  common::Stopwatch online;
+  const double eps =
+      params_.eps > 0.0 ? params_.eps : AutoEps(data, params_.min_pts, &rng);
+
+  // Pairwise distance probabilities (sparse adjacency of positive entries).
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p = cache.DistanceProbability(i, j, eps);
+      ++result.ed_evaluations;
+      if (p > 0.0) {
+        adj[i].emplace_back(j, p);
+        adj[j].emplace_back(i, p);
+      }
+    }
+  }
+
+  // Core-object probabilities via the Poisson-binomial tail.
+  std::vector<bool> core(n, false);
+  std::vector<double> probs;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs.clear();
+    probs.reserve(adj[i].size());
+    for (const auto& [j, p] : adj[i]) probs.push_back(p);
+    core[i] =
+        AtLeastProbability(probs, params_.min_pts) >= params_.core_threshold;
+  }
+
+  // Expansion: BFS over reachability edges seeded at unvisited core objects.
+  result.labels.assign(n, -1);
+  int next_cluster = 0;
+  std::queue<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i] || result.labels[i] >= 0) continue;
+    const int cluster = next_cluster++;
+    result.labels[i] = cluster;
+    frontier.push(i);
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (const auto& [v, p] : adj[u]) {
+        if (p < params_.reach_threshold || result.labels[v] >= 0) continue;
+        result.labels[v] = cluster;
+        if (core[v]) frontier.push(v);
+      }
+    }
+  }
+
+  // Noise policy: all unreached objects share one extra cluster, keeping the
+  // output a partition as the external validity criteria require.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.labels[i] < 0) {
+      result.labels[i] = next_cluster;
+      ++result.noise_objects;
+    }
+  }
+  result.clusters_found = CountClusters(result.labels);
+  result.iterations = 1;
+  result.objective = std::numeric_limits<double>::quiet_NaN();
+  result.online_ms = online.ElapsedMs();
+  result.offline_ms = offline_ms;
+  return result;
+}
+
+}  // namespace uclust::clustering

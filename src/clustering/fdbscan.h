@@ -1,0 +1,54 @@
+// FDBSCAN (Kriegel & Pfeifle, KDD 2005): density-based clustering of
+// uncertain objects via fuzzy distance functions.
+//
+// Distance probabilities Pr[dist(o, o') <= eps] are estimated over matched
+// Monte-Carlo sample pairs; the probability that an object is a core object
+// (>= MinPts neighbors within eps) is evaluated exactly from those pairwise
+// probabilities with a Poisson-binomial dynamic program, which is valid
+// under the library-wide independence assumption between objects. Objects
+// whose core probability reaches the core threshold seed clusters; expansion
+// follows pairs whose distance probability reaches the reachability
+// threshold.
+#ifndef UCLUST_CLUSTERING_FDBSCAN_H_
+#define UCLUST_CLUSTERING_FDBSCAN_H_
+
+#include "clustering/clusterer.h"
+
+namespace uclust::clustering {
+
+/// The FDBSCAN algorithm. The `k` argument of Cluster() is ignored (density-
+/// based algorithms determine the number of clusters themselves); noise
+/// objects are mapped to one shared extra cluster.
+class Fdbscan final : public Clusterer {
+ public:
+  /// Tuning knobs.
+  struct Params {
+    /// Neighborhood radius; <= 0 selects it automatically from the median
+    /// MinPts-nearest-neighbor distance (k-dist heuristic).
+    double eps = 0.0;
+    int min_pts = 5;              ///< Density threshold (MinPts).
+    double core_threshold = 0.5;  ///< Min core-object probability.
+    double reach_threshold = 0.5; ///< Min direct-reachability probability.
+    int samples = 24;             ///< Monte-Carlo samples per object.
+    uint64_t sample_seed = 0x5eedf00dULL;  ///< Seed for the sample cache.
+  };
+
+  Fdbscan() = default;
+  explicit Fdbscan(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "FDBSCAN"; }
+  ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                           uint64_t seed) const override;
+
+  /// Probability that at least `min_pts` of the independent events with
+  /// probabilities `probs` occur (Poisson-binomial tail). Exposed for tests.
+  static double AtLeastProbability(const std::vector<double>& probs,
+                                   int min_pts);
+
+ private:
+  Params params_;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_FDBSCAN_H_

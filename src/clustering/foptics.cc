@@ -1,0 +1,169 @@
+#include "clustering/foptics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+#include "common/stopwatch.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+
+namespace {
+constexpr double kUndefined = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<int> Foptics::ExtractAtThreshold(
+    const std::vector<double>& reachability,
+    const std::vector<double>& core_distance,
+    const std::vector<std::size_t>& order, double threshold) {
+  std::vector<int> labels(order.size(), -1);
+  int current = -1;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t i = order[pos];
+    if (reachability[i] > threshold) {
+      if (core_distance[i] <= threshold) {
+        ++current;  // start of a new dense region
+        labels[i] = current;
+      }  // else noise
+    } else if (current >= 0) {
+      labels[i] = current;
+    }
+  }
+  return labels;
+}
+
+ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
+                                  uint64_t /*seed*/) const {
+  const std::size_t n = data.size();
+  ClusteringResult result;
+  result.k_requested = k;
+
+  // Offline: sample cache + pairwise fuzzy distance table.
+  common::Stopwatch offline;
+  const uncertain::SampleCache cache(data.objects(), params_.samples,
+                                     params_.sample_seed);
+  std::vector<double> dist(n * n, 0.0);
+  const int s_count = cache.samples_per_object();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int s = 0; s < s_count; ++s) {
+        acc += common::SquaredDistance(cache.SampleOf(i, s),
+                                       cache.SampleOf(j, s));
+      }
+      const double d = std::sqrt(acc / s_count);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+      ++result.ed_evaluations;
+    }
+  }
+  const double offline_ms = offline.ElapsedMs();
+
+  common::Stopwatch online;
+  // Core distances: MinPts-th smallest distance to another object.
+  std::vector<double> core_dist(n, kUndefined);
+  {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < n; ++i) {
+      row.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) row.push_back(dist[i * n + j]);
+      }
+      const std::size_t rank = std::min<std::size_t>(
+          static_cast<std::size_t>(params_.min_pts), row.size());
+      if (rank == 0) continue;
+      std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
+      core_dist[i] = row[rank - 1];
+    }
+  }
+
+  // OPTICS walk (eps = infinity: one complete ordering).
+  std::vector<double> reach(n, kUndefined);
+  std::vector<bool> processed(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    // Expand from `start` by always picking the unprocessed object with the
+    // smallest reachability (linear scan; the table is dense anyway).
+    std::size_t current = start;
+    for (;;) {
+      processed[current] = true;
+      order.push_back(current);
+      // Relax reachability of all unprocessed objects through `current`.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (processed[j]) continue;
+        const double r = std::max(core_dist[current], dist[current * n + j]);
+        reach[j] = std::min(reach[j], r);
+      }
+      // Next: smallest reachability among unprocessed.
+      std::size_t next = n;
+      double best = kUndefined;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!processed[j] && reach[j] < best) {
+          best = reach[j];
+          next = j;
+        }
+      }
+      if (next == n) break;  // all remaining are unreachable: new component
+      current = next;
+    }
+  }
+
+  // Flat extraction: choose the cut whose cluster count is closest to k,
+  // preferring (at equal cluster-count gap) the cut leaving less noise.
+  // Candidate thresholds are quantiles of the finite reachability and core
+  // distances — the values at which the plot's structure changes.
+  std::vector<double> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (core_dist[i] != kUndefined) candidates.push_back(core_dist[i]);
+    if (reach[i] != kUndefined) candidates.push_back(reach[i]);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<int> best_labels;
+  int best_gap = std::numeric_limits<int>::max();
+  int best_noise = std::numeric_limits<int>::max();
+  const std::size_t probes = std::min<std::size_t>(candidates.size(), 128);
+  for (std::size_t p = 0; p < probes; ++p) {
+    const std::size_t idx =
+        p * (candidates.size() - 1) / std::max<std::size_t>(probes - 1, 1);
+    const std::vector<int> labels =
+        ExtractAtThreshold(reach, core_dist, order, candidates[idx]);
+    const int found = CountClusters(labels);
+    if (found == 0) continue;
+    int noise = 0;
+    for (int l : labels) noise += l < 0 ? 1 : 0;
+    const int gap = std::abs(found - k);
+    if (gap < best_gap || (gap == best_gap && noise < best_noise)) {
+      best_gap = gap;
+      best_noise = noise;
+      best_labels = labels;
+    }
+  }
+  if (best_labels.empty()) {
+    best_labels.assign(n, 0);  // degenerate data: one cluster
+  }
+
+  // Noise policy: one shared extra cluster.
+  int next_cluster = CountClusters(best_labels);
+  for (int& l : best_labels) {
+    if (l < 0) {
+      l = next_cluster;
+      ++result.noise_objects;
+    }
+  }
+  result.labels = std::move(best_labels);
+  result.clusters_found = CountClusters(result.labels);
+  result.iterations = 1;
+  result.objective = std::numeric_limits<double>::quiet_NaN();
+  result.online_ms = online.ElapsedMs();
+  result.offline_ms = offline_ms;
+  return result;
+}
+
+}  // namespace uclust::clustering

@@ -1,0 +1,108 @@
+#include "clustering/init.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace uclust::clustering {
+
+std::vector<int> RandomPartition(std::size_t n, int k, common::Rng* rng) {
+  assert(k > 0 && n >= static_cast<std::size_t>(k));
+  std::vector<int> labels(n);
+  // Guarantee non-emptiness: the first k slots get one object per cluster,
+  // the remainder is uniform; then shuffle object positions.
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i < static_cast<std::size_t>(k)
+                    ? static_cast<int>(i)
+                    : rng->UniformInt(0, k - 1);
+  }
+  rng->Shuffle(&labels);
+  return labels;
+}
+
+std::vector<std::size_t> RandomDistinctObjects(std::size_t n, int k,
+                                               common::Rng* rng) {
+  assert(k > 0 && n >= static_cast<std::size_t>(k));
+  return rng->SampleWithoutReplacement(n, static_cast<std::size_t>(k));
+}
+
+std::vector<double> CentroidsFromObjects(
+    const uncertain::MomentMatrix& moments,
+    const std::vector<std::size_t>& picks) {
+  const std::size_t m = moments.dims();
+  std::vector<double> centroids;
+  centroids.reserve(picks.size() * m);
+  for (std::size_t idx : picks) {
+    const auto mean = moments.mean(idx);
+    centroids.insert(centroids.end(), mean.begin(), mean.end());
+  }
+  return centroids;
+}
+
+std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentMatrix& mm,
+                                         int k, common::Rng* rng) {
+  const std::size_t n = mm.size();
+  assert(k > 0 && n >= static_cast<std::size_t>(k));
+  std::vector<std::size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(rng->Index(n));
+  // dist2[i] = squared distance of mean(i) to the nearest chosen seed.
+  std::vector<double> dist2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist2[i] = common::SquaredDistance(mm.mean(i), mm.mean(seeds[0]));
+  }
+  while (seeds.size() < static_cast<std::size_t>(k)) {
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    std::size_t next;
+    if (total <= 0.0) {
+      // All remaining points coincide with seeds: fall back to uniform.
+      next = rng->Index(n);
+    } else {
+      double target = rng->Uniform() * total;
+      next = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          next = i;
+          break;
+        }
+      }
+    }
+    seeds.push_back(next);
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(
+          dist2[i], common::SquaredDistance(mm.mean(i), mm.mean(next)));
+    }
+  }
+  return seeds;
+}
+
+std::vector<int> PartitionFromSeeds(const uncertain::MomentMatrix& mm,
+                                    const std::vector<std::size_t>& seeds) {
+  assert(!seeds.empty());
+  const std::size_t n = mm.size();
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < seeds.size(); ++c) {
+      const double d = common::SquaredDistance(mm.mean(i), mm.mean(seeds[c]));
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    labels[i] = best;
+  }
+  // Guarantee non-emptiness: each seed claims its own object (a seed is its
+  // own nearest seed unless duplicated; enforce explicitly).
+  for (std::size_t c = 0; c < seeds.size(); ++c) {
+    labels[seeds[c]] = static_cast<int>(c);
+  }
+  return labels;
+}
+
+}  // namespace uclust::clustering

@@ -1,0 +1,89 @@
+#include "clustering/local_search.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "clustering/init.h"
+
+namespace uclust::clustering {
+
+LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
+                                  int k, const LocalSearchParams& params,
+                                  common::Rng* rng) {
+  std::vector<int> initial =
+      params.init == InitStrategy::kPlusPlus
+          ? PartitionFromSeeds(moments, PlusPlusObjects(moments, k, rng))
+          : RandomPartition(moments.size(), k, rng);
+  return RunLocalSearchFrom(moments, k, params, std::move(initial));
+}
+
+LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
+                                      int k, const LocalSearchParams& params,
+                                      std::vector<int> initial_labels) {
+  const std::size_t n = moments.size();
+  const std::size_t m = moments.dims();
+  assert(k >= 1 && n >= static_cast<std::size_t>(k));
+  assert(initial_labels.size() == n);
+
+  LocalSearchOutcome out;
+  out.labels = std::move(initial_labels);
+
+  // Line 3 of Algorithm 1: per-cluster aggregates and cached objectives.
+  std::vector<ClusterMoments> stats(k, ClusterMoments(m));
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(out.labels[i] >= 0 && out.labels[i] < k);
+    stats[out.labels[i]].Add(moments, i);
+  }
+  std::vector<double> obj(k);
+  double total = 0.0;
+  for (int c = 0; c < k; ++c) {
+    obj[c] = Objective(params.objective, stats[c]);
+    total += obj[c];
+  }
+
+  // Lines 4-16: relocation passes.
+  for (out.passes = 0; out.passes < params.max_passes; ++out.passes) {
+    bool moved = false;
+    const double tolerance =
+        params.min_relative_gain * (1.0 + std::fabs(total));
+    for (std::size_t i = 0; i < n; ++i) {
+      const int source = out.labels[i];
+      if (stats[source].size() <= 1) continue;  // keep exactly k clusters
+      const double source_after =
+          ObjectiveAfterRemove(params.objective, stats[source], moments, i);
+      // Line 8: best target by total-objective change.
+      int best = source;
+      double best_delta = -tolerance;
+      for (int c = 0; c < k; ++c) {
+        if (c == source) continue;
+        const double target_after =
+            ObjectiveAfterAdd(params.objective, stats[c], moments, i);
+        const double delta =
+            (source_after + target_after) - (obj[source] + obj[c]);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = c;
+        }
+      }
+      if (best == source) continue;
+      // Lines 10-13: apply the move and refresh the affected aggregates.
+      stats[source].Remove(moments, i);
+      stats[best].Add(moments, i);
+      out.labels[i] = best;
+      obj[source] = Objective(params.objective, stats[source]);
+      obj[best] = Objective(params.objective, stats[best]);
+      total += best_delta;
+      ++out.moves;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+
+  // Recompute the total exactly to shed accumulated floating-point drift.
+  total = 0.0;
+  for (int c = 0; c < k; ++c) total += Objective(params.objective, stats[c]);
+  out.objective = total;
+  return out;
+}
+
+}  // namespace uclust::clustering

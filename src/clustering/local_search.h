@@ -1,0 +1,54 @@
+// The relocation local search of Algorithm 1, shared by UCPC and MMVar (and
+// usable with the UK-means objective for ablations): repeatedly move each
+// object to the cluster yielding the largest decrease of the global
+// objective, exploiting the O(m) add/remove evaluations of Corollary 1.
+#ifndef UCLUST_CLUSTERING_LOCAL_SEARCH_H_
+#define UCLUST_CLUSTERING_LOCAL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/cluster_stats.h"
+#include "clustering/init.h"
+#include "common/rng.h"
+#include "uncertain/moments.h"
+
+namespace uclust::clustering {
+
+/// Tuning knobs of the relocation local search.
+struct LocalSearchParams {
+  ObjectiveKind objective = ObjectiveKind::kUcpc;
+  /// Upper bound on full passes over the data (convergence usually takes
+  /// far fewer; Proposition 4 guarantees termination).
+  int max_passes = 100;
+  /// Relative improvement below which a move is considered numerical noise.
+  double min_relative_gain = 1e-12;
+  /// Starting partition: random (the paper's Algorithm 1) or induced by
+  /// D^2-weighted seeds (library extension; see init.h).
+  InitStrategy init = InitStrategy::kRandom;
+};
+
+/// Result of a local-search run.
+struct LocalSearchOutcome {
+  std::vector<int> labels;  ///< Cluster per object, in [0, k).
+  double objective = 0.0;   ///< Final total objective sum_C J(C).
+  int passes = 0;           ///< Passes executed (the paper's iterations I).
+  int64_t moves = 0;        ///< Total object relocations performed.
+};
+
+/// Runs Algorithm 1 from a random initial partition. Requires n >= k >= 1.
+/// Clusters never become empty (a relocation that would empty its source
+/// cluster is skipped), so exactly k clusters are returned.
+LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
+                                  int k, const LocalSearchParams& params,
+                                  common::Rng* rng);
+
+/// Same as RunLocalSearch but starting from a caller-provided partition
+/// (labels in [0, k), every cluster non-empty).
+LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
+                                      int k, const LocalSearchParams& params,
+                                      std::vector<int> initial_labels);
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_LOCAL_SEARCH_H_

@@ -1,0 +1,37 @@
+#include "clustering/mmvar.h"
+
+#include "common/stopwatch.h"
+
+namespace uclust::clustering {
+
+LocalSearchOutcome Mmvar::RunOnMoments(const uncertain::MomentMatrix& mm,
+                                       int k, uint64_t seed,
+                                       const Params& params) {
+  common::Rng rng(seed);
+  LocalSearchParams ls;
+  ls.objective = ObjectiveKind::kMmvar;
+  ls.max_passes = params.max_passes;
+  ls.init = params.init;
+  return RunLocalSearch(mm, k, ls, &rng);
+}
+
+ClusteringResult Mmvar::Cluster(const data::UncertainDataset& data, int k,
+                                uint64_t seed) const {
+  common::Stopwatch offline;
+  const uncertain::MomentMatrix& mm = data.moments();
+  const double offline_ms = offline.ElapsedMs();
+
+  common::Stopwatch online;
+  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_);
+  ClusteringResult result;
+  result.online_ms = online.ElapsedMs();
+  result.offline_ms = offline_ms;
+  result.labels = std::move(outcome.labels);
+  result.k_requested = k;
+  result.clusters_found = CountClusters(result.labels);
+  result.iterations = outcome.passes;
+  result.objective = outcome.objective;
+  return result;
+}
+
+}  // namespace uclust::clustering

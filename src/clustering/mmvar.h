@@ -1,0 +1,46 @@
+// MMVar (Gullo, Ponti & Tagarelli, ICDM 2010): partitional clustering that
+// minimizes the variance of cluster mixture-model centroids (Eq. 11),
+// implemented as the same relocation local search as UCPC but driven by
+// J_MM(C) = sigma^2(C_MM). Complexity O(I k n m).
+#ifndef UCLUST_CLUSTERING_MMVAR_H_
+#define UCLUST_CLUSTERING_MMVAR_H_
+
+#include "clustering/clusterer.h"
+#include "clustering/local_search.h"
+
+namespace uclust::clustering {
+
+/// The MMVar algorithm.
+class Mmvar final : public Clusterer {
+ public:
+  /// Tuning knobs.
+  struct Params {
+    int max_passes = 100;  ///< Cap on relocation passes.
+    /// Initial partition strategy (random, per the paper, by default).
+    InitStrategy init = InitStrategy::kRandom;
+  };
+
+  Mmvar() = default;
+  explicit Mmvar(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "MMVar"; }
+  ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                           uint64_t seed) const override;
+
+  /// Kernel entry point for pre-packed moment statistics.
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+                                         int k, uint64_t seed,
+                                         const Params& params);
+  /// Kernel entry point with default parameters.
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+                                         int k, uint64_t seed) {
+    return RunOnMoments(mm, k, seed, Params());
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_MMVAR_H_

@@ -1,0 +1,58 @@
+#include "clustering/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uclust::clustering {
+
+const char* PruningStrategyName(PruningStrategy strategy) {
+  switch (strategy) {
+    case PruningStrategy::kNone:
+      return "none";
+    case PruningStrategy::kMinMaxBB:
+      return "MinMax-BB";
+    case PruningStrategy::kVoronoi:
+      return "VDBiP";
+  }
+  return "unknown";
+}
+
+EdBounds MinMaxBounds(const uncertain::Box& box,
+                      std::span<const double> centroid) {
+  return {box.MinSquaredDistanceTo(centroid),
+          box.MaxSquaredDistanceTo(centroid)};
+}
+
+EdBounds ShiftBounds(double prev_ed, double shift) {
+  const double r = std::sqrt(std::max(prev_ed, 0.0));
+  const double lo = std::max(0.0, r - shift);
+  const double hi = r + shift;
+  return {lo * lo, hi * hi};
+}
+
+void VoronoiFilter(const uncertain::Box& box,
+                   const std::vector<double>& centroids, std::size_t m,
+                   std::vector<int>* candidates) {
+  auto centroid = [&](int c) {
+    return std::span<const double>(
+        centroids.data() + static_cast<std::size_t>(c) * m, m);
+  };
+  std::vector<int>& cand = *candidates;
+  std::vector<bool> dead(cand.size(), false);
+  for (std::size_t a = 0; a < cand.size(); ++a) {
+    if (dead[a]) continue;
+    for (std::size_t b = 0; b < cand.size(); ++b) {
+      if (a == b || dead[b]) continue;
+      if (box.EntirelyCloserTo(centroid(cand[a]), centroid(cand[b]))) {
+        dead[b] = true;
+      }
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    if (!dead[i]) cand[out++] = cand[i];
+  }
+  cand.resize(out);
+}
+
+}  // namespace uclust::clustering

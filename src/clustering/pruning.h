@@ -1,0 +1,63 @@
+// Pruning rules for sample-based UK-means (Section 2.2 of the paper):
+//
+//  * MinMax-BB (Ngai et al., 2006/2011): bound ED(o, c) by the min/max
+//    squared distance from o's bounding region to c; prune candidates whose
+//    lower bound exceeds the smallest upper bound.
+//  * Voronoi bisector pruning, the core of VDBiP (Kao et al., TKDE 2010):
+//    prune candidate c_b when o's region lies entirely on c_a's side of the
+//    (c_a, c_b) perpendicular bisector.
+//  * Cluster shift (Ngai et al., ICDM 2006): tighten bounds across
+//    iterations from a previously computed exact ED and the distance the
+//    centroid has moved since, via the Minkowski inequality on sqrt(ED).
+#ifndef UCLUST_CLUSTERING_PRUNING_H_
+#define UCLUST_CLUSTERING_PRUNING_H_
+
+#include <span>
+#include <vector>
+
+#include "uncertain/box.h"
+
+namespace uclust::clustering {
+
+/// Candidate-pruning strategy of the basic UK-means inner loop.
+enum class PruningStrategy {
+  kNone,      ///< Exact ED for every (object, centroid) pair.
+  kMinMaxBB,  ///< MBR min/max distance bounds.
+  kVoronoi,   ///< Perpendicular-bisector (Voronoi) half-space tests.
+};
+
+/// Display name ("none", "MinMax-BB", "VDBiP").
+const char* PruningStrategyName(PruningStrategy strategy);
+
+/// Lower/upper bounds on an expected squared distance.
+struct EdBounds {
+  double lb = 0.0;
+  double ub = 0.0;
+};
+
+/// MBR bounds: for a pdf supported inside `box`,
+/// min_x ||x-c||^2 <= ED(o, c) <= max_x ||x-c||^2.
+EdBounds MinMaxBounds(const uncertain::Box& box,
+                      std::span<const double> centroid);
+
+/// Cluster-shift bounds: if ED(o, c_then) = prev_ed and the centroid has
+/// moved by at most `shift` since, then
+/// (max(0, sqrt(prev_ed) - shift))^2 <= ED(o, c_now) <= (sqrt(prev_ed)+shift)^2.
+EdBounds ShiftBounds(double prev_ed, double shift);
+
+/// Intersection of two bound intervals (both must be valid bounds on the
+/// same quantity).
+inline EdBounds TightestOf(const EdBounds& a, const EdBounds& b) {
+  return {a.lb > b.lb ? a.lb : b.lb, a.ub < b.ub ? a.ub : b.ub};
+}
+
+/// Removes from `candidates` every centroid b dominated by another candidate
+/// a, i.e. `box` lies entirely in a's bisector half-space. `centroids` is a
+/// flat k x m array; `candidates` holds centroid indices.
+void VoronoiFilter(const uncertain::Box& box,
+                   const std::vector<double>& centroids, std::size_t m,
+                   std::vector<int>* candidates);
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_PRUNING_H_

@@ -1,0 +1,72 @@
+#include "clustering/registry.h"
+
+#include "clustering/basic_ukmeans.h"
+#include "clustering/fdbscan.h"
+#include "clustering/foptics.h"
+#include "clustering/mmvar.h"
+#include "clustering/uahc.h"
+#include "clustering/ucpc.h"
+#include "clustering/ukmeans.h"
+#include "clustering/ukmedoids.h"
+
+namespace uclust::clustering {
+
+namespace {
+
+std::unique_ptr<Clusterer> MakePruned(PruningStrategy strategy, bool shift) {
+  BasicUkmeans::Params p;
+  p.pruning = strategy;
+  p.cluster_shift = shift;
+  return std::make_unique<BasicUkmeans>(p);
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredClusterers() {
+  return {"UCPC",      "UK-means",        "MMVar",       "bUK-means",
+          "MinMax-BB", "MinMax-BB+shift", "VDBiP",       "VDBiP+shift",
+          "UK-medoids", "UAHC",           "FDBSCAN",     "FOPTICS"};
+}
+
+common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
+    std::string_view name) {
+  if (name == "UCPC") return std::unique_ptr<Clusterer>(new Ucpc());
+  if (name == "UK-means") return std::unique_ptr<Clusterer>(new Ukmeans());
+  if (name == "MMVar") return std::unique_ptr<Clusterer>(new Mmvar());
+  if (name == "bUK-means") {
+    return std::unique_ptr<Clusterer>(new BasicUkmeans());
+  }
+  if (name == "MinMax-BB") {
+    return common::Result<std::unique_ptr<Clusterer>>(
+        MakePruned(PruningStrategy::kMinMaxBB, false));
+  }
+  if (name == "MinMax-BB+shift") {
+    return common::Result<std::unique_ptr<Clusterer>>(
+        MakePruned(PruningStrategy::kMinMaxBB, true));
+  }
+  if (name == "VDBiP") {
+    return common::Result<std::unique_ptr<Clusterer>>(
+        MakePruned(PruningStrategy::kVoronoi, false));
+  }
+  if (name == "VDBiP+shift") {
+    return common::Result<std::unique_ptr<Clusterer>>(
+        MakePruned(PruningStrategy::kVoronoi, true));
+  }
+  if (name == "UK-medoids") {
+    return std::unique_ptr<Clusterer>(new UkMedoids());
+  }
+  if (name == "UAHC") return std::unique_ptr<Clusterer>(new Uahc());
+  if (name == "FDBSCAN") return std::unique_ptr<Clusterer>(new Fdbscan());
+  if (name == "FOPTICS") return std::unique_ptr<Clusterer>(new Foptics());
+  return common::Status::NotFound("unknown clusterer: " + std::string(name));
+}
+
+std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers() {
+  std::vector<std::unique_ptr<Clusterer>> out;
+  for (const std::string& name : RegisteredClusterers()) {
+    out.push_back(std::move(MakeClusterer(name)).ValueOrDie());
+  }
+  return out;
+}
+
+}  // namespace uclust::clustering

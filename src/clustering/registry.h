@@ -1,0 +1,33 @@
+// Name-based factory for every clustering algorithm in the library, so
+// benches, examples, and downstream tools can select algorithms from
+// configuration ("UCPC", "UK-means", "MinMax-BB", ...) without linking
+// against each header.
+#ifndef UCLUST_CLUSTERING_REGISTRY_H_
+#define UCLUST_CLUSTERING_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clustering/clusterer.h"
+#include "common/status.h"
+
+namespace uclust::clustering {
+
+/// Names accepted by MakeClusterer, in the paper's presentation order.
+std::vector<std::string> RegisteredClusterers();
+
+/// Creates an algorithm by name. Accepted names (case-sensitive):
+/// "UCPC", "UK-means", "MMVar", "bUK-means", "MinMax-BB", "VDBiP",
+/// "MinMax-BB+shift", "VDBiP+shift", "UK-medoids", "UAHC", "FDBSCAN",
+/// "FOPTICS".
+common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
+    std::string_view name);
+
+/// Creates one instance of every registered algorithm.
+std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers();
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_REGISTRY_H_

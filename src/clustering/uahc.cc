@@ -1,0 +1,140 @@
+#include "clustering/uahc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "uncertain/expected_distance.h"
+
+namespace uclust::clustering {
+
+ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
+                               uint64_t /*seed*/) const {
+  const std::size_t n = data.size();
+  assert(k >= 1 && n >= static_cast<std::size_t>(k));
+  ClusteringResult result;
+  result.k_requested = k;
+
+  // Offline: pairwise ED^ table (closed form, Lemma 3).
+  common::Stopwatch offline;
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          uncertain::ExpectedSquaredDistance(data.object(i), data.object(j));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  const double offline_ms = offline.ElapsedMs();
+
+  common::Stopwatch online;
+  // NN-chain agglomeration with the UPGMA Lance-Williams update:
+  // d(u, i+j) = (|i| d(u,i) + |j| d(u,j)) / (|i| + |j|).
+  //
+  // NN-chain performs merges in a different (non-monotone-height) order than
+  // the classic greedy algorithm, but produces the same dendrogram. The full
+  // dendrogram is therefore built first (n - 1 recorded merges), and the
+  // k-cluster partition is obtained by replaying the n - k lowest-height
+  // merges — exactly the greedy UPGMA cut.
+  struct Merge {
+    std::size_t a;
+    std::size_t b;
+    double height;
+  };
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> sizes(n, 1);
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+
+  auto nearest = [&](std::size_t u) {
+    std::size_t best = n;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u || !alive[v]) continue;
+      const double d = dist[u * n + v];
+      if (d < best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    return std::pair<std::size_t, double>(best, best_d);
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (alive[u]) {
+          chain.push_back(u);
+          break;
+        }
+      }
+    }
+    // Grow the chain until a reciprocal nearest-neighbor pair appears.
+    for (;;) {
+      const std::size_t tip = chain.back();
+      const auto [nn, nn_d] = nearest(tip);
+      assert(nn != n);
+      if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+        // Reciprocal pair (tip, nn): merge into `nn` (the earlier element).
+        const std::size_t a = nn;
+        const std::size_t b = tip;
+        chain.pop_back();
+        chain.pop_back();
+        merges.push_back({a, b, nn_d});
+        const double sa = static_cast<double>(sizes[a]);
+        const double sb = static_cast<double>(sizes[b]);
+        for (std::size_t u = 0; u < n; ++u) {
+          if (!alive[u] || u == a || u == b) continue;
+          const double d =
+              (sa * dist[u * n + a] + sb * dist[u * n + b]) / (sa + sb);
+          dist[u * n + a] = d;
+          dist[a * n + u] = d;
+        }
+        sizes[a] += sizes[b];
+        alive[b] = false;
+        --remaining;
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+
+  // Cut: apply the n - k lowest merges through a union-find.
+  std::stable_sort(merges.begin(), merges.end(),
+                   [](const Merge& x, const Merge& y) {
+                     return x.height < y.height;
+                   });
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t cut = n - static_cast<std::size_t>(k);
+  for (std::size_t i = 0; i < cut; ++i) {
+    parent[find(merges[i].a)] = find(merges[i].b);
+  }
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(find(i));
+  }
+  result.labels = RelabelConsecutive(labels);
+  result.clusters_found = CountClusters(result.labels);
+  result.iterations = static_cast<int>(cut);
+  result.objective = std::numeric_limits<double>::quiet_NaN();
+  result.online_ms = online.ElapsedMs();
+  result.offline_ms = offline_ms;
+  return result;
+}
+
+}  // namespace uclust::clustering

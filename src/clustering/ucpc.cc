@@ -1,0 +1,38 @@
+#include "clustering/ucpc.h"
+
+#include "common/stopwatch.h"
+
+namespace uclust::clustering {
+
+LocalSearchOutcome Ucpc::RunOnMoments(const uncertain::MomentMatrix& mm,
+                                      int k, uint64_t seed,
+                                      const Params& params) {
+  common::Rng rng(seed);
+  LocalSearchParams ls;
+  ls.objective = ObjectiveKind::kUcpc;
+  ls.max_passes = params.max_passes;
+  ls.init = params.init;
+  return RunLocalSearch(mm, k, ls, &rng);
+}
+
+ClusteringResult Ucpc::Cluster(const data::UncertainDataset& data, int k,
+                               uint64_t seed) const {
+  // Line 1 of Algorithm 1 (moment precomputation) is the offline phase.
+  common::Stopwatch offline;
+  const uncertain::MomentMatrix& mm = data.moments();
+  const double offline_ms = offline.ElapsedMs();
+
+  common::Stopwatch online;
+  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_);
+  ClusteringResult result;
+  result.online_ms = online.ElapsedMs();
+  result.offline_ms = offline_ms;
+  result.labels = std::move(outcome.labels);
+  result.k_requested = k;
+  result.clusters_found = CountClusters(result.labels);
+  result.iterations = outcome.passes;
+  result.objective = outcome.objective;
+  return result;
+}
+
+}  // namespace uclust::clustering

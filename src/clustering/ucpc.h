@@ -1,0 +1,48 @@
+// UCPC — U-Centroid-based Partitional Clustering (Algorithm 1; the paper's
+// primary contribution). Minimizes sum_C J(C) where J(C) is the sum of
+// expected distances between cluster members and the cluster's U-centroid,
+// computed in closed form (Theorem 3) with O(m) relocation updates
+// (Corollary 1). Complexity O(I k n m) (Proposition 5).
+#ifndef UCLUST_CLUSTERING_UCPC_H_
+#define UCLUST_CLUSTERING_UCPC_H_
+
+#include "clustering/clusterer.h"
+#include "clustering/local_search.h"
+
+namespace uclust::clustering {
+
+/// The UCPC algorithm.
+class Ucpc final : public Clusterer {
+ public:
+  /// Tuning knobs.
+  struct Params {
+    int max_passes = 100;  ///< Cap on relocation passes.
+    /// Initial partition strategy (random, per the paper, by default).
+    InitStrategy init = InitStrategy::kRandom;
+  };
+
+  Ucpc() = default;
+  explicit Ucpc(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "UCPC"; }
+  ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                           uint64_t seed) const override;
+
+  /// Kernel entry point for pre-packed moment statistics (used by the
+  /// scalability benches; numerically identical to Cluster()).
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+                                         int k, uint64_t seed,
+                                         const Params& params);
+  /// Kernel entry point with default parameters.
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+                                         int k, uint64_t seed) {
+    return RunOnMoments(mm, k, seed, Params());
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_UCPC_H_

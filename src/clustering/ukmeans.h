@@ -1,0 +1,54 @@
+// UK-means in the efficient formulation of Lee, Kao & Cheng (ICDM-W 2007):
+// because ED(o, c) = ED(o, mu(o)) + ||c - mu(o)||^2 (Eq. 8) and the first
+// term is constant per object, the algorithm reduces to Lloyd's K-means on
+// the objects' expected-value vectors. Online complexity O(I k n m).
+#ifndef UCLUST_CLUSTERING_UKMEANS_H_
+#define UCLUST_CLUSTERING_UKMEANS_H_
+
+#include "clustering/clusterer.h"
+#include "clustering/init.h"
+#include "uncertain/moments.h"
+
+namespace uclust::clustering {
+
+/// The (fast) UK-means algorithm.
+class Ukmeans final : public Clusterer {
+ public:
+  /// Tuning knobs.
+  struct Params {
+    int max_iters = 100;  ///< Cap on Lloyd iterations.
+    /// Seeding: Forgy (random distinct objects, the paper's choice) or
+    /// D^2-weighted (library extension).
+    InitStrategy init = InitStrategy::kRandom;
+  };
+
+  /// Outcome of the kernel (mirrors LocalSearchOutcome for uniformity).
+  struct Outcome {
+    std::vector<int> labels;
+    double objective = 0.0;  ///< sum_C J_UK(C) = sum_o ED(o, C_UK(o)).
+    int iterations = 0;
+  };
+
+  Ukmeans() = default;
+  explicit Ukmeans(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "UK-means"; }
+  ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                           uint64_t seed) const override;
+
+  /// Kernel entry point for pre-packed moment statistics.
+  static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
+                              uint64_t seed, const Params& params);
+  /// Kernel entry point with default parameters.
+  static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
+                              uint64_t seed) {
+    return RunOnMoments(mm, k, seed, Params());
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_UKMEANS_H_

@@ -1,0 +1,120 @@
+#include "clustering/ukmedoids.h"
+
+#include <cassert>
+#include <limits>
+
+#include "clustering/init.h"
+#include "common/math_utils.h"
+#include "common/stopwatch.h"
+#include "uncertain/expected_distance.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+
+ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
+                                    uint64_t seed) const {
+  const std::size_t n = data.size();
+  assert(k >= 1 && n >= static_cast<std::size_t>(k));
+  common::Rng rng(seed);
+
+  ClusteringResult result;
+  result.k_requested = k;
+
+  // Offline phase: the full pairwise ED^ table.
+  common::Stopwatch offline;
+  std::vector<double> dist(n * n, 0.0);
+  if (params_.use_closed_form) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d =
+            uncertain::ExpectedSquaredDistance(data.object(i), data.object(j));
+        dist[i * n + j] = d;
+        dist[j * n + i] = d;
+      }
+    }
+  } else {
+    const uncertain::SampleCache cache(data.objects(), params_.samples,
+                                       params_.sample_seed);
+    const int s_count = cache.samples_per_object();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (int s = 0; s < s_count; ++s) {
+          acc += common::SquaredDistance(cache.SampleOf(i, s),
+                                         cache.SampleOf(j, s));
+        }
+        const double d = acc / s_count;
+        dist[i * n + j] = d;
+        dist[j * n + i] = d;
+        ++result.ed_evaluations;
+      }
+    }
+  }
+  result.offline_ms = offline.ElapsedMs();
+
+  // Online phase: PAM-style alternation.
+  common::Stopwatch online;
+  std::vector<std::size_t> medoids = RandomDistinctObjects(n, k, &rng);
+  result.labels.assign(n, -1);
+  std::vector<std::vector<std::size_t>> members(k);
+
+  for (result.iterations = 0; result.iterations < params_.max_iters;
+       ++result.iterations) {
+    // Assignment to the nearest medoid.
+    bool changed = false;
+    for (auto& mlist : members) mlist.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = dist[i * n + medoids[c]];
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (best != result.labels[i]) {
+        result.labels[i] = best;
+        changed = true;
+      }
+      members[best].push_back(i);
+    }
+    if (!changed && result.iterations > 0) break;
+
+    // Update: each cluster's medoid minimizes the total ED^ to its members.
+    bool medoid_moved = false;
+    for (int c = 0; c < k; ++c) {
+      if (members[c].empty()) {
+        medoids[c] = rng.Index(n);  // re-seed an empty cluster
+        medoid_moved = true;
+        continue;
+      }
+      std::size_t best = medoids[c];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t cand : members[c]) {
+        double cost = 0.0;
+        for (std::size_t other : members[c]) cost += dist[cand * n + other];
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+      if (best != medoids[c]) {
+        medoids[c] = best;
+        medoid_moved = true;
+      }
+    }
+    if (!medoid_moved) break;
+  }
+
+  // Objective: total ED^ between objects and their medoids.
+  result.objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.objective += dist[i * n + medoids[result.labels[i]]];
+  }
+  result.online_ms = online.ElapsedMs();
+  result.clusters_found = CountClusters(result.labels);
+  return result;
+}
+
+}  // namespace uclust::clustering

@@ -1,0 +1,36 @@
+// Tiny --key=value command-line parser for bench/example binaries.
+#ifndef UCLUST_COMMON_CLI_H_
+#define UCLUST_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace uclust::common {
+
+/// Parses flags of the form `--key=value` or bare `--flag` (value "true").
+/// Non-flag arguments are ignored. Unknown flags are permitted; callers query
+/// only what they understand.
+class ArgParser {
+ public:
+  /// Parses argv; safe on empty argv.
+  ArgParser(int argc, char** argv);
+
+  /// True iff `--key[=...]` was passed.
+  bool Has(const std::string& key) const;
+  /// String value of `--key=`, or `def` when absent.
+  std::string GetString(const std::string& key, const std::string& def) const;
+  /// Integer value of `--key=`, or `def` when absent/unparsable.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  /// Double value of `--key=`, or `def` when absent/unparsable.
+  double GetDouble(const std::string& key, double def) const;
+  /// Boolean value: bare `--key` or `--key=true/1` is true.
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace uclust::common
+
+#endif  // UCLUST_COMMON_CLI_H_

@@ -1,0 +1,84 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace uclust::common {
+
+std::vector<std::string> SplitString(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, sep)) out.push_back(field);
+  // Trailing separator yields an empty final field.
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  std::size_t expected_cols = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.back() == '\r') line.pop_back();
+    const std::vector<std::string> fields = SplitString(line, ',');
+    if (first && has_header) {
+      table.header = fields;
+      expected_cols = fields.size();
+      first = false;
+      continue;
+    }
+    first = false;
+    if (expected_cols == 0) expected_cols = fields.size();
+    if (fields.size() != expected_cols) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": ragged row");
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) {
+      char* end = nullptr;
+      const double v = std::strtod(f.c_str(), &end);
+      if (end == f.c_str() || *end != '\0') {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": non-numeric cell '" + f + "'");
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!header.empty()) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i) out << ',';
+      out << header[i];
+    }
+    out << '\n';
+  }
+  out.precision(17);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace uclust::common

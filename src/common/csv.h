@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing used by dataset IO and bench result dumps.
+// Supports numeric tables with an optional header row; no quoting/escaping
+// (fields never contain commas in this library).
+#ifndef UCLUST_COMMON_CSV_H_
+#define UCLUST_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uclust::common {
+
+/// A parsed CSV file: optional header plus numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;        ///< Empty when the file had none.
+  std::vector<std::vector<double>> rows;  ///< Row-major numeric cells.
+};
+
+/// Reads a numeric CSV file. When `has_header` is true the first line is
+/// stored in CsvTable::header. All remaining cells must parse as doubles.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes a numeric CSV file with the given header (header may be empty).
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows);
+
+/// Splits `line` on `sep` (no escaping).
+std::vector<std::string> SplitString(const std::string& line, char sep);
+
+}  // namespace uclust::common
+
+#endif  // UCLUST_COMMON_CSV_H_

@@ -1,0 +1,66 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace uclust::common {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;  // 1 / sqrt(2*pi)
+constexpr double kInvSqrt2 = 0.7071067811865476;    // 1 / sqrt(2)
+}  // namespace
+
+double NormalPdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Sum(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+double Mean(std::span<const double> v) {
+  assert(!v.empty());
+  return Sum(v) / static_cast<double>(v.size());
+}
+
+bool CloseTo(double a, double b, double rtol, double atol) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= atol + rtol * scale;
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+}  // namespace uclust::common

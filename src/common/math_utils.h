@@ -1,0 +1,78 @@
+// Small numeric helpers shared across modules: Gaussian pdf/cdf, squared
+// distances, vector reductions. Header-only where trivial.
+#ifndef UCLUST_COMMON_MATH_UTILS_H_
+#define UCLUST_COMMON_MATH_UTILS_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace uclust::common {
+
+/// z-score such that the central interval [-z, z] of a standard Normal holds
+/// 95% of the probability mass.
+inline constexpr double kNormal95 = 1.959963984540054;
+
+/// 95th percentile of the unit-rate Exponential distribution (-ln 0.05).
+inline constexpr double kExp95 = 2.9957322735539909;
+
+/// Standard Normal density at z.
+double NormalPdf(double z);
+
+/// Standard Normal CDF at z (via erfc for accuracy in the tails).
+double NormalCdf(double z);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between two equal-length vectors.
+double Distance(std::span<const double> a, std::span<const double> b);
+
+/// Sum of all elements.
+double Sum(std::span<const double> v);
+
+/// Arithmetic mean; v must be non-empty.
+double Mean(std::span<const double> v);
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True iff |a - b| <= atol + rtol * max(|a|, |b|).
+bool CloseTo(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds an observation.
+  void Add(double x);
+  /// Number of observations added.
+  std::size_t count() const { return count_; }
+  /// Sample mean (0 when empty).
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 when count < 2).
+  double variance() const;
+  /// Population variance (0 when empty).
+  double population_variance() const;
+  /// Standard deviation (sqrt of unbiased variance).
+  double stddev() const { return std::sqrt(variance()); }
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace uclust::common
+
+#endif  // UCLUST_COMMON_MATH_UTILS_H_

@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace uclust::common {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  assert(n > 0);
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  return Uniform() < p;
+}
+
+uint64_t Rng::NextSeed() { return engine_(); }
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t count) {
+  assert(count <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(count) swaps.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace uclust::common

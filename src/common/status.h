@@ -1,0 +1,121 @@
+// Lightweight Status / Result error handling for fallible, non-hot-path APIs
+// (dataset construction, parsing, configuration). Numeric kernels stay
+// exception-free and report programming errors via assertions instead.
+#ifndef UCLUST_COMMON_STATUS_H_
+#define UCLUST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace uclust::common {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kIOError,
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error indicator, in the spirit of arrow::Status.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy for the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the OK status.
+  static Status Ok() { return Status(); }
+  /// Factory for an invalid-argument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Factory for an out-of-range error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Factory for an I/O error.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Factory for a not-found error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Factory for an internal-invariant violation.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message ("" for OK).
+  const std::string& message() const { return message_; }
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T, in the spirit of arrow::Result.
+///
+/// Access the value only after checking ok(); ValueOrDie() asserts in debug
+/// builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie() on error Result");
+    return *value_;
+  }
+  /// Moves the contained value out; must only be called when ok().
+  T ValueOrDie() && {
+    assert(ok() && "ValueOrDie() on error Result");
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace uclust::common
+
+/// Propagates a non-OK Status from the current function.
+#define UCLUST_RETURN_NOT_OK(expr)                    \
+  do {                                                \
+    ::uclust::common::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+#endif  // UCLUST_COMMON_STATUS_H_

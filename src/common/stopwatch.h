@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the bench harness and per-run diagnostics.
+#ifndef UCLUST_COMMON_STOPWATCH_H_
+#define UCLUST_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace uclust::common {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or the last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uclust::common
+
+#endif  // UCLUST_COMMON_STOPWATCH_H_

@@ -1,0 +1,24 @@
+// CSV persistence for deterministic datasets (points + optional label
+// column), so generated workloads can be exported/reimported and inspected.
+#ifndef UCLUST_DATA_CSV_IO_H_
+#define UCLUST_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace uclust::data {
+
+/// Writes points (and, when present, a final integer "label" column).
+common::Status SaveDeterministic(const std::string& path,
+                                 const DeterministicDataset& dataset);
+
+/// Reads a dataset written by SaveDeterministic. When `has_labels` is true
+/// the last column is interpreted as integer class labels.
+common::Result<DeterministicDataset> LoadDeterministic(
+    const std::string& path, bool has_labels);
+
+}  // namespace uclust::data
+
+#endif  // UCLUST_DATA_CSV_IO_H_

@@ -1,0 +1,128 @@
+#include "data/kdd_gen.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace uclust::data {
+
+namespace {
+
+// Zipf-weighted class sizes, each class non-empty.
+std::vector<std::size_t> ZipfSizes(std::size_t n, int classes,
+                                   double exponent) {
+  std::vector<double> weights(classes);
+  double wsum = 0.0;
+  for (int c = 0; c < classes; ++c) {
+    weights[c] = 1.0 / std::pow(static_cast<double>(c + 1), exponent);
+    wsum += weights[c];
+  }
+  std::vector<std::size_t> sizes(classes, 1);
+  std::size_t assigned = static_cast<std::size_t>(classes);
+  assert(n >= assigned);
+  for (int c = 0; c < classes && assigned < n; ++c) {
+    const std::size_t extra = std::min(
+        n - assigned, static_cast<std::size_t>(std::floor(
+                          weights[c] / wsum * static_cast<double>(n))));
+    sizes[c] += extra;
+    assigned += extra;
+  }
+  sizes[0] += n - assigned;  // dump the remainder on the largest class
+  return sizes;
+}
+
+std::vector<std::vector<double>> DrawCenters(std::size_t dims, int classes,
+                                             common::Rng* rng) {
+  std::vector<std::vector<double>> centers(classes);
+  for (auto& c : centers) {
+    c.resize(dims);
+    for (auto& x : c) x = rng->Uniform();
+  }
+  return centers;
+}
+
+}  // namespace
+
+double VarianceFactor(PdfFamily family) {
+  // Construct a unit-scale pdf once and read its (truncated) variance.
+  static const double kUniform =
+      MakeUncertainPdf(PdfFamily::kUniform, 0.0, 1.0)->variance();
+  static const double kNormal =
+      MakeUncertainPdf(PdfFamily::kNormal, 0.0, 1.0)->variance();
+  static const double kExponential =
+      MakeUncertainPdf(PdfFamily::kExponential, 0.0, 1.0)->variance();
+  switch (family) {
+    case PdfFamily::kUniform:
+      return kUniform;
+    case PdfFamily::kNormal:
+      return kNormal;
+    case PdfFamily::kExponential:
+      return kExponential;
+  }
+  return 1.0;
+}
+
+DeterministicDataset MakeKddLikeDataset(const KddLikeParams& params,
+                                        uint64_t seed) {
+  assert(params.n >= static_cast<std::size_t>(params.classes));
+  common::Rng rng(seed);
+  const auto centers = DrawCenters(params.dims, params.classes, &rng);
+  const auto sizes = ZipfSizes(params.n, params.classes, params.zipf_exponent);
+
+  DeterministicDataset out;
+  out.name = "KDDCup99-like";
+  out.num_classes = params.classes;
+  out.points.reserve(params.n);
+  out.labels.reserve(params.n);
+  for (int c = 0; c < params.classes; ++c) {
+    for (std::size_t i = 0; i < sizes[c]; ++i) {
+      std::vector<double> p(params.dims);
+      for (std::size_t j = 0; j < params.dims; ++j) {
+        p[j] = rng.Normal(centers[c][j], params.sigma);
+      }
+      out.points.push_back(std::move(p));
+      out.labels.push_back(c);
+    }
+  }
+  return out;
+}
+
+uncertain::MomentMatrix MakeKddLikeMoments(const KddLikeParams& params,
+                                           const UncertaintyParams& uparams,
+                                           uint64_t seed,
+                                           std::vector<int>* labels) {
+  assert(params.n >= static_cast<std::size_t>(params.classes));
+  common::Rng rng(seed);
+  const auto centers = DrawCenters(params.dims, params.classes, &rng);
+  const auto sizes = ZipfSizes(params.n, params.classes, params.zipf_exponent);
+  const double factor = VarianceFactor(uparams.family);
+  // Centers live in the unit cube, so the per-dimension data range the
+  // uncertainty protocol scales by is ~1.
+  const double range = 1.0;
+
+  uncertain::MomentMatrix mm(params.n, params.dims);
+  if (labels != nullptr) {
+    labels->clear();
+    labels->reserve(params.n);
+  }
+  std::vector<double> mean(params.dims), mu2(params.dims), var(params.dims);
+  for (int c = 0; c < params.classes; ++c) {
+    for (std::size_t i = 0; i < sizes[c]; ++i) {
+      for (std::size_t j = 0; j < params.dims; ++j) {
+        const double w = rng.Normal(centers[c][j], params.sigma);
+        const double scale =
+            range *
+            rng.Uniform(uparams.min_scale_frac, uparams.max_scale_frac);
+        mean[j] = w;
+        var[j] = factor * scale * scale;
+        mu2[j] = var[j] + w * w;
+      }
+      mm.AppendRow(mean, mu2, var);
+      if (labels != nullptr) labels->push_back(c);
+    }
+  }
+  return mm;
+}
+
+}  // namespace uclust::data

@@ -1,0 +1,50 @@
+// KDD-Cup-'99-like scalability workload (Table 1a, last row; Figure 5).
+//
+// The scalability study only exercises the linear-scan cost structure of the
+// fast algorithms, which consume per-object moment statistics. Besides a
+// regular point generator, this module can therefore stream moment rows
+// directly (MakeKddLikeMoments) — numerically identical to building the
+// uncertain objects and packing their moments, without holding pdf objects
+// for millions of points.
+#ifndef UCLUST_DATA_KDD_GEN_H_
+#define UCLUST_DATA_KDD_GEN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/uncertainty_model.h"
+#include "uncertain/moments.h"
+
+namespace uclust::data {
+
+/// Parameters of the KDD-like generator: many heavily imbalanced classes in
+/// a 42-dimensional space, matching the paper's scalability dataset shape.
+struct KddLikeParams {
+  std::size_t n = 100000;
+  std::size_t dims = 42;
+  int classes = 23;
+  /// Zipf exponent for class sizes (KDD Cup '99 is dominated by few classes).
+  double zipf_exponent = 1.2;
+  /// Per-dim class stddev in the unit cube.
+  double sigma = 0.05;
+};
+
+/// Generates a labeled deterministic KDD-like dataset (moderate n).
+DeterministicDataset MakeKddLikeDataset(const KddLikeParams& params,
+                                        uint64_t seed);
+
+/// Streams a KDD-like uncertain dataset directly into moment statistics
+/// under the given uncertainty protocol. Every class is guaranteed at least
+/// one object (the paper fixes k = 23 and ensures all classes are covered).
+uncertain::MomentMatrix MakeKddLikeMoments(const KddLikeParams& params,
+                                           const UncertaintyParams& uparams,
+                                           uint64_t seed,
+                                           std::vector<int>* labels);
+
+/// Variance of MakeUncertainPdf(family, w, scale) divided by scale^2; used
+/// for streaming moment generation and exposed for tests.
+double VarianceFactor(PdfFamily family);
+
+}  // namespace uclust::data
+
+#endif  // UCLUST_DATA_KDD_GEN_H_

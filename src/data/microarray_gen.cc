@@ -1,0 +1,95 @@
+#include "data/microarray_gen.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "uncertain/normal_pdf.h"
+
+namespace uclust::data {
+
+std::span<const MicroarraySpec> PaperMicroarraySpecs() {
+  static constexpr std::array<MicroarraySpec, 2> kSpecs = {{
+      {"Neuroblastoma", 22282, 14},
+      {"Leukaemia", 22690, 21},
+  }};
+  return kSpecs;
+}
+
+UncertainDataset MakeMicroarrayDataset(const MicroarrayParams& params,
+                                       uint64_t seed, std::string name) {
+  assert(params.genes >= static_cast<std::size_t>(params.modules));
+  assert(params.modules > 0 && params.conditions > 0);
+  common::Rng rng(seed);
+
+  // Latent module profiles across conditions. Module 0 is the background:
+  // flat, near the detection floor, where probe-level sigma is largest.
+  std::vector<std::vector<double>> profiles(params.modules);
+  for (int c = 0; c < params.modules; ++c) {
+    auto& profile = profiles[c];
+    profile.resize(params.conditions);
+    const double base =
+        c == 0 ? params.background_level
+               : rng.Uniform(params.base_level_min, params.base_level_max);
+    const double amplitude = c == 0 ? 0.2 : params.module_amplitude;
+    for (auto& x : profile) {
+      x = base + rng.Normal(0.0, amplitude);
+    }
+  }
+
+  const auto background_genes = static_cast<std::size_t>(
+      params.background_frac * static_cast<double>(params.genes));
+  std::vector<uncertain::UncertainObject> objects;
+  objects.reserve(params.genes);
+  std::vector<int> labels;
+  labels.reserve(params.genes);
+  for (std::size_t g = 0; g < params.genes; ++g) {
+    const int module =
+        g < background_genes
+            ? 0
+            : 1 + static_cast<int>(g % (params.modules > 1
+                                            ? static_cast<std::size_t>(
+                                                  params.modules - 1)
+                                            : 1));
+    std::vector<uncertain::PdfPtr> dims;
+    dims.reserve(params.conditions);
+    for (std::size_t j = 0; j < params.conditions; ++j) {
+      const double expr =
+          profiles[module][j] + rng.Normal(0.0, params.gene_noise);
+      // multi-mgMOS-like heteroscedasticity: probe-level sigma explodes as
+      // the signal approaches the background level and flattens to a floor
+      // at high expression.
+      const double sigma =
+          params.sigma_floor +
+          params.sigma_low_expr * std::exp(-std::max(expr, 0.0) / 3.0);
+      dims.push_back(uncertain::TruncatedNormalPdf::Make(expr, sigma));
+    }
+    objects.emplace_back(std::move(dims));
+    labels.push_back(module);
+  }
+  return UncertainDataset(std::move(name), std::move(objects),
+                          std::move(labels), params.modules);
+}
+
+common::Result<UncertainDataset> MakeMicroarrayByName(std::string_view name,
+                                                      uint64_t seed,
+                                                      double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return common::Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  for (const MicroarraySpec& spec : PaperMicroarraySpecs()) {
+    if (name != spec.name) continue;
+    MicroarrayParams params;
+    params.conditions = spec.conditions;
+    params.genes = std::max<std::size_t>(
+        static_cast<std::size_t>(params.modules),
+        static_cast<std::size_t>(
+            std::llround(static_cast<double>(spec.genes) * scale)));
+    return MakeMicroarrayDataset(params, seed, std::string(spec.name));
+  }
+  return common::Status::NotFound("unknown microarray dataset: " +
+                                  std::string(name));
+}
+
+}  // namespace uclust::data

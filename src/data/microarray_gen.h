@@ -1,0 +1,65 @@
+// Simulated gene-expression microarray datasets with inherent probe-level
+// uncertainty (Table 1b: Neuroblastoma 22282x14, Leukaemia 22690x21).
+//
+// The paper models probe-level uncertainty as per-probe Normal pdfs produced
+// by multi-mgMOS (PUMA). We simulate the salient property of that model —
+// heteroscedastic Normal uncertainty whose sigma grows as expression falls —
+// on top of a latent gene-module structure (see DESIGN.md section 4).
+#ifndef UCLUST_DATA_MICROARRAY_GEN_H_
+#define UCLUST_DATA_MICROARRAY_GEN_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace uclust::data {
+
+/// Parameters of the microarray simulator. Expression values are on a
+/// log2-intensity-like scale.
+///
+/// Real expression arrays are dominated by a background of non-differential
+/// genes sitting near the detection floor, where probe-level uncertainty is
+/// largest (the multi-mgMOS signature); the informative co-expression
+/// modules are a minority. `background_frac` controls that mass.
+struct MicroarrayParams {
+  std::size_t genes = 1000;       ///< Number of genes (= objects).
+  std::size_t conditions = 14;    ///< Number of arrays (= dimensions).
+  int modules = 20;               ///< Latent co-expression modules.
+  double background_frac = 0.5;   ///< Fraction of genes near the floor.
+  double background_level = 3.0;  ///< Background expression baseline.
+  double base_level_min = 5.0;    ///< Min module baseline expression.
+  double base_level_max = 12.0;   ///< Max module baseline expression.
+  double module_amplitude = 1.5;  ///< Profile variation across conditions.
+  double gene_noise = 0.4;        ///< Residual per-gene noise.
+  double sigma_floor = 0.15;      ///< Probe-level sigma at high expression.
+  double sigma_low_expr = 3.0;    ///< Extra sigma at very low expression.
+};
+
+/// Shape of one paper microarray dataset (Table 1b).
+struct MicroarraySpec {
+  const char* name;
+  std::size_t genes;
+  std::size_t conditions;
+};
+
+/// The two microarray datasets of Table 1b.
+std::span<const MicroarraySpec> PaperMicroarraySpecs();
+
+/// Generates a microarray-like uncertain dataset: one uncertain object per
+/// gene with truncated-Normal probe-level pdfs. Module ids are stored as
+/// reference labels (used only for diagnostics; Table 3 evaluates Q).
+UncertainDataset MakeMicroarrayDataset(const MicroarrayParams& params,
+                                       uint64_t seed, std::string name);
+
+/// Generates "Neuroblastoma" or "Leukaemia" at `scale` in (0, 1] of the
+/// paper's gene count.
+common::Result<UncertainDataset> MakeMicroarrayByName(std::string_view name,
+                                                      uint64_t seed,
+                                                      double scale = 1.0);
+
+}  // namespace uclust::data
+
+#endif  // UCLUST_DATA_MICROARRAY_GEN_H_

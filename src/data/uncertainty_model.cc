@@ -1,0 +1,101 @@
+#include "data/uncertainty_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "uncertain/exponential_pdf.h"
+#include "uncertain/normal_pdf.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust::data {
+
+const char* PdfFamilyName(PdfFamily family) {
+  switch (family) {
+    case PdfFamily::kUniform:
+      return "uniform";
+    case PdfFamily::kNormal:
+      return "normal";
+    case PdfFamily::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+common::Result<PdfFamily> ParsePdfFamily(std::string_view text) {
+  if (text == "uniform" || text == "U") return PdfFamily::kUniform;
+  if (text == "normal" || text == "N") return PdfFamily::kNormal;
+  if (text == "exponential" || text == "E") return PdfFamily::kExponential;
+  return common::Status::InvalidArgument("unknown pdf family: " +
+                                         std::string(text));
+}
+
+uncertain::PdfPtr MakeUncertainPdf(PdfFamily family, double w, double scale) {
+  assert(scale > 0.0);
+  switch (family) {
+    case PdfFamily::kUniform:
+      // Half-width sqrt(3)*scale gives variance exactly scale^2.
+      return uncertain::UniformPdf::Centered(w, scale * std::sqrt(3.0));
+    case PdfFamily::kNormal:
+      return uncertain::TruncatedNormalPdf::Make(w, scale);
+    case PdfFamily::kExponential:
+      return uncertain::TruncatedExponentialPdf::Make(w, 1.0 / scale);
+  }
+  return nullptr;
+}
+
+UncertaintyModel::UncertaintyModel(const DeterministicDataset& source,
+                                   const UncertaintyParams& params,
+                                   uint64_t seed)
+    : name_(source.name),
+      size_(source.size()),
+      dims_(source.dims()),
+      labels_(source.labels),
+      num_classes_(source.num_classes) {
+  assert(size_ > 0);
+  assert(params.min_scale_frac > 0.0 &&
+         params.min_scale_frac <= params.max_scale_frac);
+  common::Rng rng(seed);
+  const auto ranges = source.DimensionRanges();
+  pdfs_.reserve(size_ * dims_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    for (std::size_t j = 0; j < dims_; ++j) {
+      const double span = ranges[j].second - ranges[j].first;
+      const double range = span > 0.0 ? span : 1.0;
+      const double scale =
+          range * rng.Uniform(params.min_scale_frac, params.max_scale_frac);
+      pdfs_.push_back(
+          MakeUncertainPdf(params.family, source.points[i][j], scale));
+    }
+  }
+}
+
+DeterministicDataset UncertaintyModel::Perturbed(uint64_t seed) const {
+  common::Rng rng(seed);
+  DeterministicDataset out;
+  out.name = name_ + "-perturbed";
+  out.labels = labels_;
+  out.num_classes = num_classes_;
+  out.points.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::vector<double> p(dims_);
+    for (std::size_t j = 0; j < dims_; ++j) {
+      p[j] = pdfs_[i * dims_ + j]->Sample(&rng);
+    }
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+UncertainDataset UncertaintyModel::Uncertain() const {
+  std::vector<uncertain::UncertainObject> objects;
+  objects.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::vector<uncertain::PdfPtr> dims(pdfs_.begin() + i * dims_,
+                                        pdfs_.begin() + (i + 1) * dims_);
+    objects.emplace_back(std::move(dims));
+  }
+  return UncertainDataset(name_ + "-uncertain", std::move(objects), labels_,
+                          num_classes_);
+}
+
+}  // namespace uclust::data

@@ -1,0 +1,81 @@
+// The paper's uncertainty-generation protocol (Section 5.1).
+//
+// Given a deterministic dataset D, a pdf f_w is assigned to every point w so
+// that E[f_w] = w while all other parameters are drawn at random. Two derived
+// datasets drive the Theta evaluation:
+//   Case 1: D'  — a perturbed deterministic dataset (one draw from each f_w);
+//   Case 2: D'' — the uncertain dataset whose objects are (R_w, f_w) with
+//                 R_w the region holding ~95% of the mass of f_w.
+#ifndef UCLUST_DATA_UNCERTAINTY_MODEL_H_
+#define UCLUST_DATA_UNCERTAINTY_MODEL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "uncertain/pdf.h"
+
+namespace uclust::data {
+
+/// Families of generated pdfs used in the paper's experiments.
+enum class PdfFamily { kUniform, kNormal, kExponential };
+
+/// Short display name ("uniform" / "normal" / "exponential").
+const char* PdfFamilyName(PdfFamily family);
+
+/// Parses a family name (case-sensitive, accepts "U"/"N"/"E" shorthands).
+common::Result<PdfFamily> ParsePdfFamily(std::string_view text);
+
+/// Controls the randomly drawn per-point/per-dimension uncertainty scales.
+///
+/// `scale` below means "standard-deviation magnitude": for Uniform the
+/// half-width is scale*sqrt(3) (variance = scale^2), for Normal sigma = scale
+/// (the 95% truncation shrinks it slightly), for Exponential 1/rate = scale.
+struct UncertaintyParams {
+  PdfFamily family = PdfFamily::kNormal;
+  /// Minimum relative scale (fraction of the per-dimension data range).
+  double min_scale_frac = 0.02;
+  /// Maximum relative scale (fraction of the per-dimension data range).
+  double max_scale_frac = 0.10;
+};
+
+/// Creates a pdf with truncated mean exactly `w` and the given absolute
+/// standard-deviation-magnitude `scale` (> 0).
+uncertain::PdfPtr MakeUncertainPdf(PdfFamily family, double w, double scale);
+
+/// A fully instantiated uncertainty assignment over a deterministic dataset:
+/// one pdf per (point, dimension), drawn deterministically from a seed.
+class UncertaintyModel {
+ public:
+  /// Assigns pdfs to every point of `source`; the pdf parameters (scales)
+  /// are drawn once using `seed`. `source` must be valid and non-empty.
+  UncertaintyModel(const DeterministicDataset& source,
+                   const UncertaintyParams& params, uint64_t seed);
+
+  /// Case 1: a perturbed deterministic dataset D' (fresh draws from the
+  /// assigned pdfs using `seed`). Labels are carried over.
+  DeterministicDataset Perturbed(uint64_t seed) const;
+
+  /// Case 2: the uncertain dataset D'' whose objects share the assigned
+  /// pdfs. Labels are carried over.
+  UncertainDataset Uncertain() const;
+
+  /// The pdf assigned to point i, dimension j.
+  const uncertain::Pdf& pdf(std::size_t i, std::size_t j) const {
+    return *pdfs_[i * dims_ + j];
+  }
+
+ private:
+  std::string name_;
+  std::size_t size_;
+  std::size_t dims_;
+  std::vector<int> labels_;
+  int num_classes_;
+  std::vector<uncertain::PdfPtr> pdfs_;  // row-major size_ x dims_
+};
+
+}  // namespace uclust::data
+
+#endif  // UCLUST_DATA_UNCERTAINTY_MODEL_H_

@@ -1,0 +1,118 @@
+#include "eval/external.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uclust::eval {
+
+Contingency BuildContingency(const std::vector<int>& reference,
+                             const std::vector<int>& clustering) {
+  assert(reference.size() == clustering.size());
+  int max_ref = -1;
+  int max_clu = -1;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    assert(reference[i] >= 0 && clustering[i] >= 0);
+    max_ref = std::max(max_ref, reference[i]);
+    max_clu = std::max(max_clu, clustering[i]);
+  }
+  Contingency table;
+  table.n = reference.size();
+  const std::size_t rows = static_cast<std::size_t>(max_ref) + 1;
+  const std::size_t cols = static_cast<std::size_t>(max_clu) + 1;
+  table.counts.assign(rows, std::vector<double>(cols, 0.0));
+  table.class_sizes.assign(rows, 0.0);
+  table.cluster_sizes.assign(cols, 0.0);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    table.counts[reference[i]][clustering[i]] += 1.0;
+    table.class_sizes[reference[i]] += 1.0;
+    table.cluster_sizes[clustering[i]] += 1.0;
+  }
+  return table;
+}
+
+double FMeasure(const std::vector<int>& reference,
+                const std::vector<int>& clustering) {
+  const Contingency t = BuildContingency(reference, clustering);
+  if (t.n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t u = 0; u < t.counts.size(); ++u) {
+    if (t.class_sizes[u] == 0.0) continue;
+    double best = 0.0;
+    for (std::size_t v = 0; v < t.counts[u].size(); ++v) {
+      const double inter = t.counts[u][v];
+      if (inter == 0.0 || t.cluster_sizes[v] == 0.0) continue;
+      const double precision = inter / t.cluster_sizes[v];
+      const double recall = inter / t.class_sizes[u];
+      const double f = 2.0 * precision * recall / (precision + recall);
+      best = std::max(best, f);
+    }
+    acc += t.class_sizes[u] * best;
+  }
+  return acc / static_cast<double>(t.n);
+}
+
+double Purity(const std::vector<int>& reference,
+              const std::vector<int>& clustering) {
+  const Contingency t = BuildContingency(reference, clustering);
+  if (t.n == 0) return 0.0;
+  double acc = 0.0;
+  const std::size_t cols = t.cluster_sizes.size();
+  for (std::size_t v = 0; v < cols; ++v) {
+    double best = 0.0;
+    for (std::size_t u = 0; u < t.counts.size(); ++u) {
+      best = std::max(best, t.counts[u][v]);
+    }
+    acc += best;
+  }
+  return acc / static_cast<double>(t.n);
+}
+
+double Nmi(const std::vector<int>& reference,
+           const std::vector<int>& clustering) {
+  const Contingency t = BuildContingency(reference, clustering);
+  if (t.n == 0) return 0.0;
+  const double n = static_cast<double>(t.n);
+  double mi = 0.0;
+  double h_ref = 0.0;
+  double h_clu = 0.0;
+  for (double s : t.class_sizes) {
+    if (s > 0.0) h_ref -= s / n * std::log(s / n);
+  }
+  for (double s : t.cluster_sizes) {
+    if (s > 0.0) h_clu -= s / n * std::log(s / n);
+  }
+  for (std::size_t u = 0; u < t.counts.size(); ++u) {
+    for (std::size_t v = 0; v < t.counts[u].size(); ++v) {
+      const double c = t.counts[u][v];
+      if (c == 0.0) continue;
+      mi += c / n *
+            std::log(c * n / (t.class_sizes[u] * t.cluster_sizes[v]));
+    }
+  }
+  const double denom = 0.5 * (h_ref + h_clu);
+  return denom > 0.0 ? mi / denom : (mi == 0.0 ? 1.0 : 0.0);
+}
+
+double AdjustedRand(const std::vector<int>& reference,
+                    const std::vector<int>& clustering) {
+  const Contingency t = BuildContingency(reference, clustering);
+  if (t.n < 2) return 1.0;
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& row : t.counts) {
+    for (double c : row) sum_cells += choose2(c);
+  }
+  double sum_rows = 0.0;
+  for (double s : t.class_sizes) sum_rows += choose2(s);
+  double sum_cols = 0.0;
+  for (double s : t.cluster_sizes) sum_cols += choose2(s);
+  const double total = choose2(static_cast<double>(t.n));
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;
+  return (sum_cells - expected) / denom;
+}
+
+}  // namespace uclust::eval

@@ -1,0 +1,45 @@
+// External cluster validity criteria: how well a clustering fits a reference
+// classification. Includes the paper's F-measure (Section 5.1) plus the
+// standard purity / NMI / adjusted-Rand indices for richer reporting.
+#ifndef UCLUST_EVAL_EXTERNAL_H_
+#define UCLUST_EVAL_EXTERNAL_H_
+
+#include <vector>
+
+namespace uclust::eval {
+
+/// Cross-tabulation of a reference classification (rows) against a
+/// clustering (columns).
+struct Contingency {
+  std::size_t n = 0;                          ///< Total objects.
+  std::vector<std::vector<double>> counts;    ///< [class][cluster].
+  std::vector<double> class_sizes;            ///< Row sums.
+  std::vector<double> cluster_sizes;          ///< Column sums.
+};
+
+/// Builds the contingency table; labels must be non-negative and dense-ish
+/// (table size = max label + 1 per side).
+Contingency BuildContingency(const std::vector<int>& reference,
+                             const std::vector<int>& clustering);
+
+/// The paper's F-measure: F(C, C~) = (1/|D|) * sum_u |C~_u| max_v F_uv with
+/// F_uv the harmonic mean of precision and recall of cluster v w.r.t. class
+/// u. Range [0, 1], higher is better.
+double FMeasure(const std::vector<int>& reference,
+                const std::vector<int>& clustering);
+
+/// Purity: fraction of objects in the majority class of their cluster.
+double Purity(const std::vector<int>& reference,
+              const std::vector<int>& clustering);
+
+/// Normalized mutual information (arithmetic-mean normalization).
+double Nmi(const std::vector<int>& reference,
+           const std::vector<int>& clustering);
+
+/// Adjusted Rand index (chance-corrected; 1 = identical partitions).
+double AdjustedRand(const std::vector<int>& reference,
+                    const std::vector<int>& clustering);
+
+}  // namespace uclust::eval
+
+#endif  // UCLUST_EVAL_EXTERNAL_H_

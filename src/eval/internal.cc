@@ -1,0 +1,141 @@
+#include "eval/internal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace uclust::eval {
+
+namespace {
+
+// Per-cluster scalar/vector aggregates sufficient for pairwise ED^ sums:
+//   g  = sum_{o in C} sum_j mu2_j(o)        (scalar)
+//   sv = sum_{o in C} sigma^2(o)            (scalar)
+//   t  = sum_{o in C} mu(o)                 (vector)
+struct Agg {
+  double g = 0.0;
+  double sv = 0.0;
+  std::vector<double> t;
+  std::size_t size = 0;
+};
+
+}  // namespace
+
+double EdNormalizer(const uncertain::MomentMatrix& moments,
+                    Normalization normalization) {
+  const std::size_t n = moments.size();
+  const std::size_t m = moments.dims();
+  switch (normalization) {
+    case Normalization::kNone:
+      return 1.0;
+    case Normalization::kExactMax: {
+      double best = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double d =
+              common::SquaredDistance(moments.mean(i), moments.mean(j)) +
+              moments.total_variance(i) + moments.total_variance(j);
+          best = std::max(best, d);
+        }
+      }
+      return best > 0.0 ? best : 1.0;
+    }
+    case Normalization::kUpperBound: {
+      // ED^(a,b) = ||mu_a - mu_b||^2 + sigma^2(a) + sigma^2(b)
+      //         <= (bounding-box diagonal of the means)^2 + 2 max variance.
+      std::vector<double> lo(m, std::numeric_limits<double>::infinity());
+      std::vector<double> hi(m, -std::numeric_limits<double>::infinity());
+      double max_var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto mean = moments.mean(i);
+        for (std::size_t j = 0; j < m; ++j) {
+          lo[j] = std::min(lo[j], mean[j]);
+          hi[j] = std::max(hi[j], mean[j]);
+        }
+        max_var = std::max(max_var, moments.total_variance(i));
+      }
+      double diag2 = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = hi[j] - lo[j];
+        diag2 += d * d;
+      }
+      const double bound = diag2 + 2.0 * max_var;
+      return bound > 0.0 ? bound : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+InternalQuality EvaluateInternal(const uncertain::MomentMatrix& moments,
+                                 const std::vector<int>& labels, int k,
+                                 Normalization normalization) {
+  const std::size_t n = moments.size();
+  const std::size_t m = moments.dims();
+  assert(labels.size() == n);
+  assert(k >= 1);
+
+  std::vector<Agg> agg(k);
+  for (auto& a : agg) a.t.assign(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(labels[i] >= 0 && labels[i] < k);
+    Agg& a = agg[labels[i]];
+    const auto mu = moments.mean(i);
+    const auto mu2 = moments.second_moment(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      a.t[j] += mu[j];
+      a.g += mu2[j];
+    }
+    a.sv += moments.total_variance(i);
+    ++a.size;
+  }
+
+  InternalQuality out;
+  out.normalizer = EdNormalizer(moments, normalization);
+
+  // intra(C) = (1/|C|) sum_C (1/(|C|(|C|-1))) sum_{o != o'} ED^(o, o').
+  // sum_{o != o' in C} ED^ = 2 |C| g - 2 ||t||^2 - 2 sum_o sigma^2(o).
+  double intra_sum = 0.0;
+  int counted_clusters = 0;
+  for (const Agg& a : agg) {
+    if (a.size == 0) continue;
+    ++counted_clusters;
+    if (a.size < 2) continue;  // singleton: no within-cluster pairs
+    const double s = static_cast<double>(a.size);
+    double t_norm2 = 0.0;
+    for (double t : a.t) t_norm2 += t * t;
+    const double pair_sum = 2.0 * s * a.g - 2.0 * t_norm2 - 2.0 * a.sv;
+    intra_sum += pair_sum / (s * (s - 1.0));
+  }
+  if (counted_clusters > 0) {
+    out.intra = intra_sum / counted_clusters / out.normalizer;
+  }
+
+  // inter(C) = (1/(|C|(|C|-1))) sum_{C != C'} (1/(|C||C'|)) sum ED^(o, o').
+  // sum_{o in C, o' in C'} ED^ = |C'| g_C + |C| g_C' - 2 t_C . t_C'.
+  double inter_sum = 0.0;
+  int pair_count = 0;
+  for (int a = 0; a < k; ++a) {
+    if (agg[a].size == 0) continue;
+    for (int b = a + 1; b < k; ++b) {
+      if (agg[b].size == 0) continue;
+      const double sa = static_cast<double>(agg[a].size);
+      const double sb = static_cast<double>(agg[b].size);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < m; ++j) dot += agg[a].t[j] * agg[b].t[j];
+      const double cross = sb * agg[a].g + sa * agg[b].g - 2.0 * dot;
+      inter_sum += cross / (sa * sb);
+      ++pair_count;
+    }
+  }
+  if (pair_count > 0) {
+    out.inter = inter_sum / pair_count / out.normalizer;
+  }
+
+  out.q = out.inter - out.intra;
+  return out;
+}
+
+}  // namespace uclust::eval

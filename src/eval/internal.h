@@ -1,0 +1,53 @@
+// Internal cluster validity criteria of Section 5.1: average intra-cluster
+// and inter-cluster expected distances, normalized into [0, 1], combined as
+// Q = inter - intra in [-1, 1].
+//
+// Both averages are computed exactly in O(n m + k^2 m) from per-cluster
+// moment aggregates (the pairwise ED^ of Lemma 3 telescopes over sums of
+// means/second moments), so Q is exact even on datasets with tens of
+// thousands of objects.
+#ifndef UCLUST_EVAL_INTERNAL_H_
+#define UCLUST_EVAL_INTERNAL_H_
+
+#include <vector>
+
+#include "uncertain/moments.h"
+
+namespace uclust::eval {
+
+/// How the raw average expected distances are normalized into [0, 1].
+enum class Normalization {
+  /// Divide by an O(n m) upper bound on the max pairwise ED^:
+  /// (diagonal of the bounding box of the means)^2 + 2 max_i sigma^2(o_i).
+  kUpperBound,
+  /// Divide by the exact max pairwise ED^ (O(n^2 m); small datasets only).
+  kExactMax,
+  /// No normalization (raw expected distances).
+  kNone,
+};
+
+/// Internal validity outcome.
+struct InternalQuality {
+  double intra = 0.0;       ///< Average within-cluster ED^ (normalized).
+  double inter = 0.0;       ///< Average between-cluster ED^ (normalized).
+  double q = 0.0;           ///< inter - intra.
+  double normalizer = 1.0;  ///< The divisor applied to both averages.
+};
+
+/// Evaluates intra/inter/Q for `labels` over the objects' moments. Labels
+/// must be in [0, k). Singleton clusters contribute 0 to the intra average
+/// (the paper's formula is undefined for them); cluster pairs both count
+/// toward the inter average.
+InternalQuality EvaluateInternal(const uncertain::MomentMatrix& moments,
+                                 const std::vector<int>& labels, int k,
+                                 Normalization normalization =
+                                     Normalization::kUpperBound);
+
+/// The normalizer value for a dataset under the given policy (exposed for
+/// tests and for reporting).
+double EdNormalizer(const uncertain::MomentMatrix& moments,
+                    Normalization normalization);
+
+}  // namespace uclust::eval
+
+#endif  // UCLUST_EVAL_INTERNAL_H_

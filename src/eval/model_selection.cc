@@ -1,0 +1,54 @@
+#include "eval/model_selection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "eval/internal.h"
+#include "eval/silhouette.h"
+
+namespace uclust::eval {
+
+KSelection SelectK(const data::UncertainDataset& dataset,
+                   const clustering::Clusterer& algorithm, int k_min,
+                   int k_max, SelectionCriterion criterion, int runs,
+                   uint64_t seed) {
+  assert(k_min >= 2 && k_min <= k_max);
+  assert(static_cast<std::size_t>(k_max) <= dataset.size());
+  assert(runs > 0);
+  const uncertain::MomentMatrix& mm = dataset.moments();
+
+  KSelection out;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int k = k_min; k <= k_max; ++k) {
+    KScore row;
+    row.k = k;
+    for (int r = 0; r < runs; ++r) {
+      const clustering::ClusteringResult result =
+          algorithm.Cluster(dataset, k, seed + static_cast<uint64_t>(r) +
+                                            31ULL * static_cast<uint64_t>(k));
+      const int k_eval = std::max(k, result.clusters_found);
+      double score = 0.0;
+      switch (criterion) {
+        case SelectionCriterion::kQuality:
+          score = EvaluateInternal(mm, result.labels, k_eval).q;
+          break;
+        case SelectionCriterion::kSilhouette:
+          score = ExpectedSilhouette(mm, result.labels, k_eval).mean;
+          break;
+      }
+      row.score += score;
+      row.objective += result.objective;
+    }
+    row.score /= runs;
+    row.objective /= runs;
+    if (row.score > best_score) {
+      best_score = row.score;
+      out.best_k = k;
+    }
+    out.scores.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace uclust::eval

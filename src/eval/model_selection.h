@@ -1,0 +1,44 @@
+// Model selection for the number of clusters k — a library extension the
+// paper leaves open (its experiments fix k to the reference class count).
+// Sweeps a k range, runs a clusterer a few times per k, and scores each k
+// by an internal criterion evaluated on the uncertain objects.
+#ifndef UCLUST_EVAL_MODEL_SELECTION_H_
+#define UCLUST_EVAL_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "clustering/clusterer.h"
+#include "data/dataset.h"
+
+namespace uclust::eval {
+
+/// Internal criterion used to score a candidate k.
+enum class SelectionCriterion {
+  kQuality,     ///< Q = inter - intra (Section 5.1 of the paper).
+  kSilhouette,  ///< Expected-distance silhouette (library extension).
+};
+
+/// One row of the sweep.
+struct KScore {
+  int k = 0;
+  double score = 0.0;      ///< Mean criterion value over the runs.
+  double objective = 0.0;  ///< Mean final algorithm objective.
+};
+
+/// Sweep outcome; `scores` is ordered by k ascending.
+struct KSelection {
+  int best_k = 0;
+  std::vector<KScore> scores;
+};
+
+/// Runs `algorithm` for every k in [k_min, k_max], `runs` times each, and
+/// returns the k maximizing the mean criterion. Requires
+/// 2 <= k_min <= k_max <= n.
+KSelection SelectK(const data::UncertainDataset& dataset,
+                   const clustering::Clusterer& algorithm, int k_min,
+                   int k_max, SelectionCriterion criterion, int runs,
+                   uint64_t seed);
+
+}  // namespace uclust::eval
+
+#endif  // UCLUST_EVAL_MODEL_SELECTION_H_

@@ -1,0 +1,56 @@
+#include "eval/protocol.h"
+
+#include <cassert>
+
+#include "eval/external.h"
+
+namespace uclust::eval {
+
+ThetaSummary RunThetaProtocol(const data::DeterministicDataset& source,
+                              const data::UncertaintyParams& uparams,
+                              const clustering::Clusterer& algorithm, int k,
+                              int runs, uint64_t seed) {
+  assert(runs > 0);
+  assert(!source.labels.empty() && "Theta protocol needs reference classes");
+  common::Rng seeder(seed);
+
+  // One uncertainty assignment per protocol invocation: every algorithm
+  // evaluated with the same `seed` sees identical pdfs.
+  const data::UncertaintyModel model(source, uparams, seeder.NextSeed());
+  const data::UncertainDataset uncertain = model.Uncertain();
+  const uncertain::MomentMatrix& mm = uncertain.moments();
+
+  ThetaSummary summary;
+  summary.runs = runs;
+  for (int r = 0; r < runs; ++r) {
+    // Case 1: perturbed observations, deterministic clustering.
+    const data::DeterministicDataset perturbed =
+        model.Perturbed(seeder.NextSeed());
+    const data::UncertainDataset case1 =
+        data::UncertainDataset::FromDeterministic(perturbed);
+    const clustering::ClusteringResult r1 =
+        algorithm.Cluster(case1, k, seeder.NextSeed());
+    const double f1 = FMeasure(source.labels, r1.labels);
+
+    // Case 2: the uncertainty-aware clustering.
+    const clustering::ClusteringResult r2 =
+        algorithm.Cluster(uncertain, k, seeder.NextSeed());
+    const double f2 = FMeasure(source.labels, r2.labels);
+    const InternalQuality q = EvaluateInternal(
+        mm, r2.labels, std::max(k, r2.clusters_found));
+
+    summary.f_case1 += f1;
+    summary.f_case2 += f2;
+    summary.theta += f2 - f1;
+    summary.q_case2 += q.q;
+    summary.online_ms += r2.online_ms;
+  }
+  summary.f_case1 /= runs;
+  summary.f_case2 /= runs;
+  summary.theta /= runs;
+  summary.q_case2 /= runs;
+  summary.online_ms /= runs;
+  return summary;
+}
+
+}  // namespace uclust::eval

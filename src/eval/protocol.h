@@ -1,0 +1,39 @@
+// The paper's two-case evaluation protocol (Section 5.1):
+//
+//   Case 1  cluster the perturbed deterministic dataset D' (objects wrapped
+//           as Dirac uncertain objects) -> F(C', C~)
+//   Case 2  cluster the uncertain dataset D''               -> F(C'', C~)
+//   Theta = F(C'', C~) - F(C', C~), averaged over multiple runs; internal
+//   quality Q is evaluated on the Case-2 clusterings.
+#ifndef UCLUST_EVAL_PROTOCOL_H_
+#define UCLUST_EVAL_PROTOCOL_H_
+
+#include "clustering/clusterer.h"
+#include "data/dataset.h"
+#include "data/uncertainty_model.h"
+#include "eval/internal.h"
+
+namespace uclust::eval {
+
+/// Per-protocol aggregate results (means over runs).
+struct ThetaSummary {
+  double f_case1 = 0.0;   ///< Mean F-measure clustering D'.
+  double f_case2 = 0.0;   ///< Mean F-measure clustering D''.
+  double theta = 0.0;     ///< Mean (F_case2 - F_case1).
+  double q_case2 = 0.0;   ///< Mean internal quality Q on D''.
+  double online_ms = 0.0; ///< Mean Case-2 online clustering time.
+  int runs = 0;           ///< Number of runs averaged.
+};
+
+/// Runs the full protocol: instantiates the uncertainty model once from
+/// `seed`, then averages `runs` repetitions in which the perturbation draw
+/// and the clusterer's own randomness vary. `k` is the reference class count
+/// in the paper's setup.
+ThetaSummary RunThetaProtocol(const data::DeterministicDataset& source,
+                              const data::UncertaintyParams& uparams,
+                              const clustering::Clusterer& algorithm, int k,
+                              int runs, uint64_t seed);
+
+}  // namespace uclust::eval
+
+#endif  // UCLUST_EVAL_PROTOCOL_H_

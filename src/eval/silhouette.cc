@@ -1,0 +1,80 @@
+#include "eval/silhouette.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace uclust::eval {
+
+SilhouetteResult ExpectedSilhouette(const uncertain::MomentMatrix& moments,
+                                    const std::vector<int>& labels, int k) {
+  const std::size_t n = moments.size();
+  const std::size_t m = moments.dims();
+  assert(labels.size() == n);
+  assert(k >= 1);
+
+  // Per-cluster aggregates: size, T (sum of means), G (sum over members of
+  // ||mu||^2 + sigma^2 = sum_j mu2_j).
+  std::vector<std::size_t> sizes(k, 0);
+  std::vector<std::vector<double>> t(k, std::vector<double>(m, 0.0));
+  std::vector<double> g(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(labels[i] >= 0 && labels[i] < k);
+    const int c = labels[i];
+    ++sizes[c];
+    const auto mu = moments.mean(i);
+    const auto mu2 = moments.second_moment(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      t[c][j] += mu[j];
+      g[c] += mu2[j];
+    }
+  }
+  int populated = 0;
+  for (int c = 0; c < k; ++c) populated += sizes[c] > 0 ? 1 : 0;
+
+  SilhouetteResult out;
+  out.widths.assign(n, 0.0);
+  if (populated < 2) return out;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int own = labels[i];
+    const auto mu = moments.mean(i);
+    const auto mu2 = moments.second_moment(i);
+    double self = 0.0;  // ||mu(o)||^2 + sigma^2(o) = sum_j mu2_j(o)
+    for (std::size_t j = 0; j < m; ++j) self += mu2[j];
+
+    // Average ED^ from object i to cluster c (excluding self for own).
+    auto avg_to = [&](int c, bool exclude_self) {
+      const double s = static_cast<double>(sizes[c]);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < m; ++j) dot += mu[j] * t[c][j];
+      double sum = s * self + g[c] - 2.0 * dot;
+      double count = s;
+      if (exclude_self) {
+        // ED^(o, o) with independent realizations = 2 sigma^2(o).
+        sum -= 2.0 * moments.total_variance(i);
+        count -= 1.0;
+      }
+      return count > 0.0 ? sum / count : 0.0;
+    };
+
+    if (sizes[own] < 2) {
+      out.widths[i] = 0.0;  // silhouette undefined for singletons
+      continue;
+    }
+    const double a = avg_to(own, /*exclude_self=*/true);
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      b = std::min(b, avg_to(c, /*exclude_self=*/false));
+    }
+    const double denom = std::max(a, b);
+    out.widths[i] = denom > 0.0 ? (b - a) / denom : 0.0;
+    total += out.widths[i];
+  }
+  out.mean = total / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace uclust::eval

@@ -1,0 +1,34 @@
+// Silhouette width generalized to uncertain objects: point-to-point
+// dissimilarities are replaced by expected squared distances ED^ (Lemma 3).
+// Library extension beyond the paper's criteria; useful for model selection.
+//
+// Thanks to the aggregate identity sum_{o' in C} ED^(o, o') =
+// |C| (||mu(o)||^2 + sigma^2(o)) + G_C - 2 mu(o) . T_C, with
+// G_C = sum_{o'} sum_j mu2_j(o') and T_C = sum_{o'} mu(o'), the full
+// silhouette evaluates in O(n k m) without any pairwise loop.
+#ifndef UCLUST_EVAL_SILHOUETTE_H_
+#define UCLUST_EVAL_SILHOUETTE_H_
+
+#include <vector>
+
+#include "uncertain/moments.h"
+
+namespace uclust::eval {
+
+/// Silhouette outcome.
+struct SilhouetteResult {
+  /// Mean silhouette width over all objects, in [-1, 1].
+  double mean = 0.0;
+  /// Per-object silhouette widths (0 for members of singleton clusters).
+  std::vector<double> widths;
+};
+
+/// Computes the expected-distance silhouette of a hard partition. Labels
+/// must be in [0, k); requires k >= 2 with at least two non-empty clusters
+/// (otherwise mean = 0).
+SilhouetteResult ExpectedSilhouette(const uncertain::MomentMatrix& moments,
+                                    const std::vector<int>& labels, int k);
+
+}  // namespace uclust::eval
+
+#endif  // UCLUST_EVAL_SILHOUETTE_H_

@@ -1,0 +1,90 @@
+#include "uncertain/box.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uclust::uncertain {
+
+Box::Box(std::vector<double> lower, std::vector<double> upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  assert(lower_.size() == upper_.size());
+#ifndef NDEBUG
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    assert(lower_[j] <= upper_[j]);
+  }
+#endif
+}
+
+std::vector<double> Box::Center() const {
+  std::vector<double> c(dims());
+  for (std::size_t j = 0; j < dims(); ++j) {
+    c[j] = 0.5 * (lower_[j] + upper_[j]);
+  }
+  return c;
+}
+
+bool Box::Contains(std::span<const double> point) const {
+  assert(point.size() == dims());
+  for (std::size_t j = 0; j < dims(); ++j) {
+    if (point[j] < lower_[j] || point[j] > upper_[j]) return false;
+  }
+  return true;
+}
+
+double Box::MinSquaredDistanceTo(std::span<const double> point) const {
+  assert(point.size() == dims());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dims(); ++j) {
+    double d = 0.0;
+    if (point[j] < lower_[j]) {
+      d = lower_[j] - point[j];
+    } else if (point[j] > upper_[j]) {
+      d = point[j] - upper_[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Box::MaxSquaredDistanceTo(std::span<const double> point) const {
+  assert(point.size() == dims());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dims(); ++j) {
+    const double dlo = std::fabs(point[j] - lower_[j]);
+    const double dhi = std::fabs(point[j] - upper_[j]);
+    const double d = std::max(dlo, dhi);
+    acc += d * d;
+  }
+  return acc;
+}
+
+Box Box::BoundingUnion(const Box& a, const Box& b) {
+  assert(a.dims() == b.dims());
+  std::vector<double> lo(a.dims());
+  std::vector<double> hi(a.dims());
+  for (std::size_t j = 0; j < a.dims(); ++j) {
+    lo[j] = std::min(a.lower_[j], b.lower_[j]);
+    hi[j] = std::max(a.upper_[j], b.upper_[j]);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+bool Box::EntirelyCloserTo(std::span<const double> a,
+                           std::span<const double> b) const {
+  assert(a.size() == dims() && b.size() == dims());
+  // ||x - b||^2 - ||x - a||^2 = -2 x.(b - a) + ||b||^2 - ||a||^2.
+  // The box is entirely closer to `a` iff the minimum of this expression
+  // over the box is >= 0. Minimizing means maximizing x.(b - a), achieved
+  // per dimension at the corner in the direction of (b - a).
+  double norm_diff = 0.0;  // ||b||^2 - ||a||^2
+  double max_dot = 0.0;    // max over box of x.(b - a)
+  for (std::size_t j = 0; j < dims(); ++j) {
+    norm_diff += b[j] * b[j] - a[j] * a[j];
+    const double w = b[j] - a[j];
+    max_dot += w > 0.0 ? w * upper_[j] : w * lower_[j];
+  }
+  return norm_diff - 2.0 * max_dot >= 0.0;
+}
+
+}  // namespace uclust::uncertain

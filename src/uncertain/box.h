@@ -1,0 +1,55 @@
+// Axis-aligned box: the multidimensional domain region of an uncertain
+// object, and the geometric primitive behind the MinMax-BB and Voronoi
+// (bisector) pruning rules.
+#ifndef UCLUST_UNCERTAIN_BOX_H_
+#define UCLUST_UNCERTAIN_BOX_H_
+
+#include <span>
+#include <vector>
+
+namespace uclust::uncertain {
+
+/// Axis-aligned box [lower_1, upper_1] x ... x [lower_m, upper_m].
+class Box {
+ public:
+  Box() = default;
+  /// Creates a box from bounds; requires equal sizes and lower <= upper.
+  Box(std::vector<double> lower, std::vector<double> upper);
+
+  /// Dimensionality.
+  std::size_t dims() const { return lower_.size(); }
+  /// Per-dimension lower bounds.
+  const std::vector<double>& lower() const { return lower_; }
+  /// Per-dimension upper bounds.
+  const std::vector<double>& upper() const { return upper_; }
+  /// Geometric center.
+  std::vector<double> Center() const;
+  /// True iff the point lies inside (inclusive).
+  bool Contains(std::span<const double> point) const;
+
+  /// Smallest squared Euclidean distance from `point` to any box point
+  /// (0 when the point is inside). Used by MinMax-BB lower bounds.
+  double MinSquaredDistanceTo(std::span<const double> point) const;
+  /// Largest squared Euclidean distance from `point` to any box point.
+  /// Used by MinMax-BB upper bounds.
+  double MaxSquaredDistanceTo(std::span<const double> point) const;
+
+  /// Smallest bounding box containing both boxes (the MMVar mixture region
+  /// union is represented by its bounding box).
+  static Box BoundingUnion(const Box& a, const Box& b);
+
+  /// True iff every point x of the box is at least as close to `a` as to
+  /// `b` under squared Euclidean distance, i.e. the box lies entirely in
+  /// `a`'s closed half-space of the (a, b) perpendicular bisector. This is
+  /// the Voronoi bisector test of the VDBiP pruning algorithm.
+  bool EntirelyCloserTo(std::span<const double> a,
+                        std::span<const double> b) const;
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_BOX_H_

@@ -1,0 +1,7 @@
+#include "uncertain/dirac_pdf.h"
+
+namespace uclust::uncertain {
+
+PdfPtr DiracPdf::Make(double x) { return std::make_shared<DiracPdf>(x); }
+
+}  // namespace uclust::uncertain

@@ -1,0 +1,64 @@
+#include "uncertain/discrete_pdf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uclust::uncertain {
+
+DiscretePdf::DiscretePdf(std::vector<double> values,
+                         std::vector<double> weights)
+    : values_(std::move(values)), weights_(std::move(weights)) {
+  assert(!values_.empty());
+  assert(values_.size() == weights_.size());
+  double total = 0.0;
+  for (double w : weights_) {
+    assert(w > 0.0);
+    total += w;
+  }
+  cum_.reserve(weights_.size());
+  double acc = 0.0;
+  lo_ = values_[0];
+  hi_ = values_[0];
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] /= total;
+    acc += weights_[i];
+    cum_.push_back(acc);
+    mean_ += weights_[i] * values_[i];
+    m2_ += weights_[i] * values_[i] * values_[i];
+    lo_ = std::min(lo_, values_[i]);
+    hi_ = std::max(hi_, values_[i]);
+  }
+  cum_.back() = 1.0;  // guard against rounding drift
+}
+
+PdfPtr DiscretePdf::Uniformly(std::vector<double> values) {
+  std::vector<double> w(values.size(), 1.0);
+  return std::make_shared<DiscretePdf>(std::move(values), std::move(w));
+}
+
+double DiscretePdf::Density(double x) const {
+  double mass = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == x) mass += weights_[i];
+  }
+  return mass;
+}
+
+double DiscretePdf::Cdf(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] <= x) acc += weights_[i];
+  }
+  return acc;
+}
+
+double DiscretePdf::Sample(common::Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(it - cum_.begin()),
+               values_.size() - 1);
+  return values_[idx];
+}
+
+}  // namespace uclust::uncertain

@@ -1,0 +1,51 @@
+#include "uncertain/expected_distance.h"
+
+#include <cassert>
+
+#include "common/math_utils.h"
+
+namespace uclust::uncertain {
+
+double ExpectedSquaredDistanceToPoint(const UncertainObject& o,
+                                      std::span<const double> y) {
+  assert(y.size() == o.dims());
+  return o.total_variance() + common::SquaredDistance(o.mean(), y);
+}
+
+double ExpectedSquaredDistance(const UncertainObject& a,
+                               const UncertainObject& b) {
+  assert(a.dims() == b.dims());
+  return common::SquaredDistance(a.mean(), b.mean()) + a.total_variance() +
+         b.total_variance();
+}
+
+double SampledExpectedSquaredDistanceToPoint(const UncertainObject& o,
+                                             std::span<const double> y,
+                                             common::Rng* rng, int samples) {
+  assert(samples > 0);
+  std::vector<double> x(o.dims());
+  double acc = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    o.SampleInto(rng, x);
+    acc += common::SquaredDistance(x, y);
+  }
+  return acc / samples;
+}
+
+double SampledExpectedSquaredDistance(const UncertainObject& a,
+                                      const UncertainObject& b,
+                                      common::Rng* rng, int samples) {
+  assert(samples > 0);
+  assert(a.dims() == b.dims());
+  std::vector<double> x(a.dims());
+  std::vector<double> y(b.dims());
+  double acc = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    a.SampleInto(rng, x);
+    b.SampleInto(rng, y);
+    acc += common::SquaredDistance(x, y);
+  }
+  return acc / samples;
+}
+
+}  // namespace uclust::uncertain

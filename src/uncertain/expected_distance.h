@@ -1,0 +1,40 @@
+// Closed-form expected squared Euclidean distances between uncertain objects
+// and points/objects — the workhorse formulas of the paper:
+//
+//   ED(o, y)    = sigma^2(o) + ||mu(o) - y||^2            (Eq. 8)
+//   ED^(o, o')  = sum_j [mu2_j(o) - 2 mu_j(o) mu_j(o') + mu2_j(o')]
+//               = ||mu(o) - mu(o')||^2 + sigma^2(o) + sigma^2(o')  (Lemma 3)
+#ifndef UCLUST_UNCERTAIN_EXPECTED_DISTANCE_H_
+#define UCLUST_UNCERTAIN_EXPECTED_DISTANCE_H_
+
+#include <span>
+
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::uncertain {
+
+/// Expected squared distance between an uncertain object and a deterministic
+/// point (Eq. 8): ED(o, y) = ED(o, mu(o)) + ||y - mu(o)||^2, where
+/// ED(o, mu(o)) = sigma^2(o). O(m).
+double ExpectedSquaredDistanceToPoint(const UncertainObject& o,
+                                      std::span<const double> y);
+
+/// Expected squared distance between two uncertain objects (Lemma 3). O(m).
+double ExpectedSquaredDistance(const UncertainObject& a,
+                               const UncertainObject& b);
+
+/// Monte-Carlo estimate of E[ d2(o, y) ] using `samples` fresh realizations;
+/// exercised by tests to validate the closed forms and by the basic UK-means
+/// to reproduce the original sample-based cost profile.
+double SampledExpectedSquaredDistanceToPoint(const UncertainObject& o,
+                                             std::span<const double> y,
+                                             common::Rng* rng, int samples);
+
+/// Monte-Carlo estimate of E[ d2(o, o') ] with matched independent draws.
+double SampledExpectedSquaredDistance(const UncertainObject& a,
+                                      const UncertainObject& b,
+                                      common::Rng* rng, int samples);
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_EXPECTED_DISTANCE_H_

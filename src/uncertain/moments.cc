@@ -1,0 +1,37 @@
+#include "uncertain/moments.h"
+
+#include <cassert>
+
+namespace uclust::uncertain {
+
+MomentMatrix::MomentMatrix(std::size_t n, std::size_t m) : m_(m) {
+  mean_.reserve(n * m);
+  mu2_.reserve(n * m);
+  var_.reserve(n * m);
+  total_var_.reserve(n);
+}
+
+MomentMatrix MomentMatrix::FromObjects(
+    std::span<const UncertainObject> objects) {
+  MomentMatrix mm(objects.size(), objects.empty() ? 0 : objects[0].dims());
+  for (const UncertainObject& o : objects) {
+    mm.AppendRow(o.mean(), o.second_moment(), o.variance());
+  }
+  return mm;
+}
+
+void MomentMatrix::AppendRow(std::span<const double> mean,
+                             std::span<const double> mu2,
+                             std::span<const double> var) {
+  if (n_ == 0 && m_ == 0) m_ = mean.size();
+  assert(mean.size() == m_ && mu2.size() == m_ && var.size() == m_);
+  mean_.insert(mean_.end(), mean.begin(), mean.end());
+  mu2_.insert(mu2_.end(), mu2.begin(), mu2.end());
+  var_.insert(var_.end(), var.begin(), var.end());
+  double tv = 0.0;
+  for (double v : var) tv += v;
+  total_var_.push_back(tv);
+  ++n_;
+}
+
+}  // namespace uclust::uncertain

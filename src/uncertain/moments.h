@@ -1,0 +1,65 @@
+// Packed per-object moment statistics.
+//
+// Every "fast" algorithm in the paper (UK-means, MMVar, UCPC) consumes only
+// the per-dimension expected values, second-order moments, and variances of
+// the objects (Theorem 3 / Lemma 3 / Eq. 8). MomentMatrix stores exactly
+// those sufficient statistics in flat cache-friendly arrays so that kernels
+// can run on millions of objects without materializing pdf objects.
+#ifndef UCLUST_UNCERTAIN_MOMENTS_H_
+#define UCLUST_UNCERTAIN_MOMENTS_H_
+
+#include <span>
+#include <vector>
+
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::uncertain {
+
+/// Row-major (n x m) matrices of mean, second moment, and variance, plus the
+/// per-object scalar total variance.
+class MomentMatrix {
+ public:
+  MomentMatrix() = default;
+
+  /// Creates an empty matrix with reserved capacity.
+  MomentMatrix(std::size_t n, std::size_t m);
+
+  /// Packs the moments of existing uncertain objects.
+  static MomentMatrix FromObjects(std::span<const UncertainObject> objects);
+
+  /// Appends one object row given its mean/second-moment/variance vectors.
+  void AppendRow(std::span<const double> mean, std::span<const double> mu2,
+                 std::span<const double> var);
+
+  /// Number of objects n.
+  std::size_t size() const { return n_; }
+  /// Dimensionality m.
+  std::size_t dims() const { return m_; }
+
+  /// mu(o_i) as a length-m span.
+  std::span<const double> mean(std::size_t i) const {
+    return {mean_.data() + i * m_, m_};
+  }
+  /// mu2(o_i) as a length-m span.
+  std::span<const double> second_moment(std::size_t i) const {
+    return {mu2_.data() + i * m_, m_};
+  }
+  /// sigma^2(o_i) per-dimension, as a length-m span.
+  std::span<const double> variance(std::size_t i) const {
+    return {var_.data() + i * m_, m_};
+  }
+  /// Scalar total variance sigma^2(o_i) (Eq. 6).
+  double total_variance(std::size_t i) const { return total_var_[i]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> mu2_;
+  std::vector<double> var_;
+  std::vector<double> total_var_;
+};
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_MOMENTS_H_

@@ -1,0 +1,56 @@
+#include "uncertain/sample_cache.h"
+
+#include <cassert>
+
+#include "common/math_utils.h"
+
+namespace uclust::uncertain {
+
+SampleCache::SampleCache(std::span<const UncertainObject> objects,
+                         int samples_per_object, uint64_t seed)
+    : count_(objects.size()),
+      samples_(samples_per_object),
+      dims_(objects.empty() ? 0 : objects[0].dims()) {
+  assert(samples_per_object > 0);
+  common::Rng rng(seed);
+  data_.resize(count_ * static_cast<std::size_t>(samples_) * dims_);
+  std::size_t off = 0;
+  for (const UncertainObject& o : objects) {
+    assert(o.dims() == dims_);
+    for (int s = 0; s < samples_; ++s) {
+      o.SampleInto(&rng, std::span<double>(data_.data() + off, dims_));
+      off += dims_;
+    }
+  }
+}
+
+std::span<const double> SampleCache::SampleOf(std::size_t i, int s) const {
+  assert(i < count_ && s >= 0 && s < samples_);
+  const std::size_t off =
+      (i * static_cast<std::size_t>(samples_) + static_cast<std::size_t>(s)) *
+      dims_;
+  return std::span<const double>(data_.data() + off, dims_);
+}
+
+double SampleCache::ExpectedSquaredDistanceToPoint(
+    std::size_t i, std::span<const double> y) const {
+  double acc = 0.0;
+  for (int s = 0; s < samples_; ++s) {
+    acc += common::SquaredDistance(SampleOf(i, s), y);
+  }
+  return acc / samples_;
+}
+
+double SampleCache::DistanceProbability(std::size_t i, std::size_t j,
+                                        double eps) const {
+  const double eps2 = eps * eps;
+  int hits = 0;
+  for (int s = 0; s < samples_; ++s) {
+    if (common::SquaredDistance(SampleOf(i, s), SampleOf(j, s)) <= eps2) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / samples_;
+}
+
+}  // namespace uclust::uncertain

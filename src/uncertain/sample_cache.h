@@ -1,0 +1,53 @@
+// Precomputed Monte-Carlo realizations for sample-based algorithms (basic
+// UK-means, FDBSCAN, FOPTICS). The original algorithms treat pdfs as black
+// boxes and integrate numerically over a fixed sample set; caching the draws
+// reproduces that cost profile (S-dependent inner loops) while keeping runs
+// deterministic.
+#ifndef UCLUST_UNCERTAIN_SAMPLE_CACHE_H_
+#define UCLUST_UNCERTAIN_SAMPLE_CACHE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::uncertain {
+
+/// Fixed sample sets: `samples_per_object` realizations for each object,
+/// stored row-major (object-major, then sample, then dimension).
+class SampleCache {
+ public:
+  /// Draws `samples_per_object` realizations of every object with the seed.
+  SampleCache(std::span<const UncertainObject> objects,
+              int samples_per_object, uint64_t seed);
+
+  /// Number of objects covered.
+  std::size_t size() const { return count_; }
+  /// Number of cached samples per object.
+  int samples_per_object() const { return samples_; }
+  /// Dimensionality of each sample.
+  std::size_t dims() const { return dims_; }
+
+  /// The s-th cached realization of object i, as a length-m span.
+  std::span<const double> SampleOf(std::size_t i, int s) const;
+
+  /// Sample-average of ||x - y||^2 over the cached realizations of object i
+  /// (the basic UK-means expected-distance estimator). O(S * m).
+  double ExpectedSquaredDistanceToPoint(std::size_t i,
+                                        std::span<const double> y) const;
+
+  /// Matched-pairs estimate of Pr[ dist(o_i, o_j) <= eps ] over the cached
+  /// realizations (FDBSCAN distance probability). O(S * m).
+  double DistanceProbability(std::size_t i, std::size_t j, double eps) const;
+
+ private:
+  std::size_t count_;
+  int samples_;
+  std::size_t dims_;
+  std::vector<double> data_;  // count * samples * dims
+};
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_SAMPLE_CACHE_H_

@@ -1,0 +1,50 @@
+#include "uncertain/uncertain_object.h"
+
+#include <cassert>
+
+#include "uncertain/dirac_pdf.h"
+
+namespace uclust::uncertain {
+
+UncertainObject::UncertainObject(std::vector<PdfPtr> dims)
+    : pdfs_(std::move(dims)) {
+  assert(!pdfs_.empty() && "UncertainObject requires >= 1 dimension");
+  const std::size_t m = pdfs_.size();
+  mean_.resize(m);
+  second_moment_.resize(m);
+  variance_.resize(m);
+  std::vector<double> lo(m), hi(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    assert(pdfs_[j] != nullptr);
+    mean_[j] = pdfs_[j]->mean();
+    second_moment_[j] = pdfs_[j]->second_moment();
+    variance_[j] = pdfs_[j]->variance();
+    total_variance_ += variance_[j];
+    lo[j] = pdfs_[j]->lower();
+    hi[j] = pdfs_[j]->upper();
+  }
+  region_ = Box(std::move(lo), std::move(hi));
+}
+
+UncertainObject UncertainObject::Deterministic(std::span<const double> point) {
+  std::vector<PdfPtr> dims;
+  dims.reserve(point.size());
+  for (double x : point) dims.push_back(DiracPdf::Make(x));
+  return UncertainObject(std::move(dims));
+}
+
+void UncertainObject::SampleInto(common::Rng* rng,
+                                 std::span<double> out) const {
+  assert(out.size() == dims());
+  for (std::size_t j = 0; j < dims(); ++j) {
+    out[j] = pdfs_[j]->Sample(rng);
+  }
+}
+
+std::vector<double> UncertainObject::Sample(common::Rng* rng) const {
+  std::vector<double> out(dims());
+  SampleInto(rng, out);
+  return out;
+}
+
+}  // namespace uclust::uncertain

@@ -1,0 +1,62 @@
+// Multivariate uncertain object (Definition 1 of the paper): an axis-aligned
+// domain region plus a pdf, represented here as a product of independent
+// per-dimension pdfs. First/second moments and variances are cached on
+// construction because every algorithm in the library consumes them heavily.
+#ifndef UCLUST_UNCERTAIN_UNCERTAIN_OBJECT_H_
+#define UCLUST_UNCERTAIN_UNCERTAIN_OBJECT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "uncertain/box.h"
+#include "uncertain/pdf.h"
+
+namespace uclust::uncertain {
+
+/// An m-dimensional uncertain object o = (R, f) with product-form pdf.
+///
+/// Copyable (pdfs are shared immutable state). All moment accessors are O(1)
+/// after construction.
+class UncertainObject {
+ public:
+  /// Creates an object from per-dimension pdfs (must be non-empty).
+  explicit UncertainObject(std::vector<PdfPtr> dims);
+
+  /// Convenience: a deterministic (Dirac) object at `point`.
+  static UncertainObject Deterministic(std::span<const double> point);
+
+  /// Dimensionality m.
+  std::size_t dims() const { return pdfs_.size(); }
+  /// The j-th per-dimension pdf.
+  const Pdf& pdf(std::size_t j) const { return *pdfs_[j]; }
+
+  /// Expected value vector mu(o) (Eq. 2).
+  const std::vector<double>& mean() const { return mean_; }
+  /// Second-order moment vector mu2(o) (Eq. 2).
+  const std::vector<double>& second_moment() const { return second_moment_; }
+  /// Variance vector sigma^2(o) (Eq. 3).
+  const std::vector<double>& variance() const { return variance_; }
+  /// Global scalar variance sigma^2(o) = sum_j (sigma^2)_j (Eq. 6).
+  double total_variance() const { return total_variance_; }
+
+  /// Domain region R (the product of per-dimension supports).
+  const Box& region() const { return region_; }
+
+  /// Draws one deterministic realization into `out` (size m).
+  void SampleInto(common::Rng* rng, std::span<double> out) const;
+  /// Draws one deterministic realization.
+  std::vector<double> Sample(common::Rng* rng) const;
+
+ private:
+  std::vector<PdfPtr> pdfs_;
+  std::vector<double> mean_;
+  std::vector<double> second_moment_;
+  std::vector<double> variance_;
+  double total_variance_ = 0.0;
+  Box region_;
+};
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_UNCERTAIN_OBJECT_H_

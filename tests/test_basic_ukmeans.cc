@@ -1,0 +1,212 @@
+// Tests for basic UK-means and its pruning strategies. The central property:
+// MinMax-BB / Voronoi / cluster-shift pruning are *exact* with respect to the
+// sample-based estimator (every cached sample lies inside the object's
+// region), so pruned runs must produce identical assignments to the
+// unpruned run while computing strictly fewer expected distances.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clustering/basic_ukmeans.h"
+#include "clustering/pruning.h"
+#include "clustering/ukmeans.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "eval/external.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+namespace {
+
+data::UncertainDataset PlantedDataset(std::size_t n, int classes,
+                                      uint64_t seed,
+                                      data::PdfFamily family =
+                                          data::PdfFamily::kNormal) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = 3;
+  params.classes = classes;
+  params.min_separation = 0.45;
+  const auto d = data::MakeGaussianMixture(params, seed, "planted");
+  data::UncertaintyParams up;
+  up.family = family;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+TEST(Pruning, MinMaxBoundsBracketSampledEd) {
+  const auto ds = PlantedDataset(50, 3, 1);
+  const uncertain::SampleCache cache(ds.objects(), 16, 99);
+  common::Rng rng(2);
+  for (int t = 0; t < 200; ++t) {
+    const std::size_t i = rng.Index(ds.size());
+    std::vector<double> c(3);
+    for (auto& v : c) v = rng.Uniform(-0.5, 1.5);
+    const EdBounds b = MinMaxBounds(ds.object(i).region(), c);
+    const double ed = cache.ExpectedSquaredDistanceToPoint(i, c);
+    EXPECT_GE(ed, b.lb - 1e-9);
+    EXPECT_LE(ed, b.ub + 1e-9);
+  }
+}
+
+TEST(Pruning, ShiftBoundsBracketMovedCentroidEd) {
+  const auto ds = PlantedDataset(30, 2, 3);
+  const uncertain::SampleCache cache(ds.objects(), 32, 77);
+  common::Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const std::size_t i = rng.Index(ds.size());
+    std::vector<double> c0(3), c1(3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      c0[j] = rng.Uniform(-0.5, 1.5);
+      c1[j] = c0[j] + rng.Uniform(-0.3, 0.3);
+    }
+    const double ed0 = cache.ExpectedSquaredDistanceToPoint(i, c0);
+    const double shift = common::Distance(c0, c1);
+    const EdBounds b = ShiftBounds(ed0, shift);
+    const double ed1 = cache.ExpectedSquaredDistanceToPoint(i, c1);
+    EXPECT_GE(ed1, b.lb - 1e-9);
+    EXPECT_LE(ed1, b.ub + 1e-9);
+  }
+}
+
+TEST(Pruning, TightestOfIntersects) {
+  const EdBounds a{1.0, 5.0};
+  const EdBounds b{2.0, 7.0};
+  const EdBounds t = TightestOf(a, b);
+  EXPECT_DOUBLE_EQ(t.lb, 2.0);
+  EXPECT_DOUBLE_EQ(t.ub, 5.0);
+}
+
+TEST(Pruning, VoronoiFilterKeepsWinner) {
+  // A tiny box near centroid 0 must prune the remote centroid 1.
+  const uncertain::Box box({0.0, 0.0}, {0.1, 0.1});
+  const std::vector<double> centroids{0.05, 0.05, 10.0, 10.0};  // k=2, m=2
+  std::vector<int> cand{0, 1};
+  VoronoiFilter(box, centroids, 2, &cand);
+  ASSERT_EQ(cand.size(), 1u);
+  EXPECT_EQ(cand[0], 0);
+}
+
+TEST(Pruning, VoronoiFilterKeepsAmbiguous) {
+  // A box straddling the bisector cannot prune either centroid.
+  const uncertain::Box box({-1.0, 0.0}, {1.0, 0.1});
+  const std::vector<double> centroids{-2.0, 0.0, 2.0, 0.0};
+  std::vector<int> cand{0, 1};
+  VoronoiFilter(box, centroids, 2, &cand);
+  EXPECT_EQ(cand.size(), 2u);
+}
+
+TEST(Pruning, StrategyNames) {
+  EXPECT_STREQ(PruningStrategyName(PruningStrategy::kNone), "none");
+  EXPECT_STREQ(PruningStrategyName(PruningStrategy::kMinMaxBB), "MinMax-BB");
+  EXPECT_STREQ(PruningStrategyName(PruningStrategy::kVoronoi), "VDBiP");
+}
+
+TEST(BasicUkmeans, NamesReflectConfiguration) {
+  BasicUkmeans::Params p;
+  EXPECT_EQ(BasicUkmeans(p).name(), "bUK-means");
+  p.pruning = PruningStrategy::kMinMaxBB;
+  EXPECT_EQ(BasicUkmeans(p).name(), "MinMax-BB");
+  p.cluster_shift = true;
+  EXPECT_EQ(BasicUkmeans(p).name(), "MinMax-BB+shift");
+  p.pruning = PruningStrategy::kVoronoi;
+  EXPECT_EQ(BasicUkmeans(p).name(), "VDBiP+shift");
+}
+
+TEST(BasicUkmeans, RecoversPlantedClusters) {
+  const auto ds = PlantedDataset(200, 3, 5);
+  const BasicUkmeans algo;
+  const ClusteringResult r = algo.Cluster(ds, 3, 6);
+  EXPECT_GT(eval::AdjustedRand(ds.labels(), r.labels), 0.85);
+  EXPECT_GT(r.ed_evaluations, 0);
+}
+
+// Exactness of pruning: identical labels, fewer ED evaluations.
+using PruneParam = std::tuple<PruningStrategy, bool>;
+
+class PruningExactness : public ::testing::TestWithParam<PruneParam> {};
+
+TEST_P(PruningExactness, SameLabelsFewerEvaluations) {
+  const auto [strategy, shift] = GetParam();
+  const auto ds = PlantedDataset(150, 4, 7);
+  BasicUkmeans::Params base;
+  const BasicUkmeans unpruned(base);
+  BasicUkmeans::Params pruned_params;
+  pruned_params.pruning = strategy;
+  pruned_params.cluster_shift = shift;
+  const BasicUkmeans pruned(pruned_params);
+
+  const ClusteringResult a = unpruned.Cluster(ds, 4, 8);
+  const ClusteringResult b = pruned.Cluster(ds, 4, 8);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_LT(b.ed_evaluations, a.ed_evaluations);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9 * (1.0 + a.objective));
+}
+
+std::string PruneParamName(
+    const ::testing::TestParamInfo<PruneParam>& param_info) {
+  std::string name = std::get<0>(param_info.param) ==
+                             PruningStrategy::kMinMaxBB
+                         ? "MinMaxBB"
+                         : "Voronoi";
+  if (std::get<1>(param_info.param)) name += "Shift";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PruningExactness,
+    ::testing::Values(PruneParam{PruningStrategy::kMinMaxBB, false},
+                      PruneParam{PruningStrategy::kMinMaxBB, true},
+                      PruneParam{PruningStrategy::kVoronoi, false},
+                      PruneParam{PruningStrategy::kVoronoi, true}),
+    PruneParamName);
+
+TEST(BasicUkmeans, AgreesWithFastUkmeansOnSeparatedData) {
+  // On well-separated clusters the sampled assignment matches the exact one.
+  const auto ds = PlantedDataset(200, 3, 9);
+  const Ukmeans fast;
+  const BasicUkmeans slow;
+  const ClusteringResult a = fast.Cluster(ds, 3, 10);
+  const ClusteringResult b = slow.Cluster(ds, 3, 10);
+  EXPECT_GT(eval::AdjustedRand(a.labels, b.labels), 0.95);
+}
+
+TEST(BasicUkmeans, ExponentialFamilyAlsoExact) {
+  // Pruning exactness must hold for skewed (exponential) regions too.
+  const auto ds = PlantedDataset(120, 3, 11, data::PdfFamily::kExponential);
+  const BasicUkmeans unpruned;
+  BasicUkmeans::Params p;
+  p.pruning = PruningStrategy::kVoronoi;
+  p.cluster_shift = true;
+  const BasicUkmeans pruned(p);
+  const ClusteringResult a = unpruned.Cluster(ds, 3, 12);
+  const ClusteringResult b = pruned.Cluster(ds, 3, 12);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(BasicUkmeans, DeterministicGivenSeeds) {
+  const auto ds = PlantedDataset(100, 3, 13);
+  const BasicUkmeans algo;
+  const auto a = algo.Cluster(ds, 3, 14);
+  const auto b = algo.Cluster(ds, 3, 14);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.ed_evaluations, b.ed_evaluations);
+}
+
+TEST(BasicUkmeans, SampleCountControlsCost) {
+  const auto ds = PlantedDataset(80, 2, 15);
+  BasicUkmeans::Params small, large;
+  small.samples = 4;
+  large.samples = 64;
+  // Same number of ED evaluations (structure-driven), but each is costlier;
+  // we verify the run completes and stays deterministic for both.
+  const auto a = BasicUkmeans(small).Cluster(ds, 2, 16);
+  const auto b = BasicUkmeans(large).Cluster(ds, 2, 16);
+  EXPECT_EQ(a.labels.size(), b.labels.size());
+  EXPECT_GT(eval::AdjustedRand(a.labels, b.labels), 0.8);
+}
+
+}  // namespace
+}  // namespace uclust::clustering

@@ -1,0 +1,134 @@
+// Validates the closed-form expected distances (Eq. 8, Lemma 3) against
+// Monte-Carlo integration across pdf families, plus their algebraic
+// identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "data/uncertainty_model.h"
+#include "uncertain/expected_distance.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::uncertain {
+namespace {
+
+using data::MakeUncertainPdf;
+using data::PdfFamily;
+
+UncertainObject MakeObject(PdfFamily family, std::vector<double> means,
+                           std::vector<double> scales) {
+  std::vector<PdfPtr> dims;
+  for (std::size_t j = 0; j < means.size(); ++j) {
+    dims.push_back(MakeUncertainPdf(family, means[j], scales[j]));
+  }
+  return UncertainObject(std::move(dims));
+}
+
+class ExpectedDistanceFamily : public ::testing::TestWithParam<PdfFamily> {};
+
+TEST_P(ExpectedDistanceFamily, PointDistanceMatchesMonteCarlo) {
+  const UncertainObject o =
+      MakeObject(GetParam(), {1.0, -2.0, 0.5}, {0.4, 0.8, 0.2});
+  const std::vector<double> y{0.0, 1.0, 0.0};
+  const double exact = ExpectedSquaredDistanceToPoint(o, y);
+  common::Rng rng(101);
+  const double mc = SampledExpectedSquaredDistanceToPoint(o, y, &rng, 400000);
+  EXPECT_NEAR(mc, exact, 0.03 * exact + 1e-6);
+}
+
+TEST_P(ExpectedDistanceFamily, ObjectDistanceMatchesMonteCarlo) {
+  const UncertainObject a = MakeObject(GetParam(), {0.0, 0.0}, {0.5, 0.5});
+  const UncertainObject b = MakeObject(GetParam(), {3.0, -1.0}, {0.2, 0.9});
+  const double exact = ExpectedSquaredDistance(a, b);
+  common::Rng rng(202);
+  const double mc = SampledExpectedSquaredDistance(a, b, &rng, 400000);
+  EXPECT_NEAR(mc, exact, 0.03 * exact + 1e-6);
+}
+
+TEST_P(ExpectedDistanceFamily, DistanceToOwnMeanIsTotalVariance) {
+  // Eq. 8 with y = mu(o): ED(o, mu(o)) = sigma^2(o).
+  const UncertainObject o = MakeObject(GetParam(), {2.0, 5.0}, {0.7, 0.3});
+  EXPECT_NEAR(ExpectedSquaredDistanceToPoint(o, o.mean()),
+              o.total_variance(), 1e-12);
+}
+
+std::string FamilyName(
+    const ::testing::TestParamInfo<PdfFamily>& param_info) {
+  return data::PdfFamilyName(param_info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ExpectedDistanceFamily,
+                         ::testing::Values(PdfFamily::kUniform,
+                                           PdfFamily::kNormal,
+                                           PdfFamily::kExponential),
+                         FamilyName);
+
+TEST(ExpectedDistance, Lemma3ExpandsAsMeanDistancePlusVariances) {
+  const UncertainObject a =
+      MakeObject(PdfFamily::kNormal, {1.0, 2.0}, {0.3, 0.6});
+  const UncertainObject b =
+      MakeObject(PdfFamily::kUniform, {-1.0, 4.0}, {0.5, 0.2});
+  const double lemma3 = ExpectedSquaredDistance(a, b);
+  const double identity = common::SquaredDistance(a.mean(), b.mean()) +
+                          a.total_variance() + b.total_variance();
+  EXPECT_NEAR(lemma3, identity, 1e-12);
+}
+
+TEST(ExpectedDistance, SymmetricInArguments) {
+  const UncertainObject a =
+      MakeObject(PdfFamily::kExponential, {0.0, 1.0}, {0.4, 0.4});
+  const UncertainObject b =
+      MakeObject(PdfFamily::kNormal, {2.0, 2.0}, {0.1, 0.9});
+  EXPECT_DOUBLE_EQ(ExpectedSquaredDistance(a, b),
+                   ExpectedSquaredDistance(b, a));
+}
+
+TEST(ExpectedDistance, SelfDistanceIsTwiceVariance) {
+  // ED^(o, o) with independent realizations = 2 sigma^2(o) (not zero!),
+  // which is exactly why pairwise criteria behave differently from
+  // centroid-based ones.
+  const UncertainObject o =
+      MakeObject(PdfFamily::kNormal, {3.0, 3.0}, {0.5, 0.5});
+  EXPECT_NEAR(ExpectedSquaredDistance(o, o), 2.0 * o.total_variance(), 1e-12);
+}
+
+TEST(ExpectedDistance, DiracObjectsReduceToSquaredEuclidean) {
+  const std::vector<double> p{1.0, 2.0};
+  const std::vector<double> q{4.0, 6.0};
+  const UncertainObject a = UncertainObject::Deterministic(p);
+  const UncertainObject b = UncertainObject::Deterministic(q);
+  EXPECT_DOUBLE_EQ(ExpectedSquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(ExpectedSquaredDistanceToPoint(a, q), 25.0);
+}
+
+TEST(ExpectedDistance, EqEightDecomposition) {
+  // ED(o, y) = ED(o, mu(o)) + ||y - mu(o)||^2 for any y.
+  const UncertainObject o =
+      MakeObject(PdfFamily::kUniform, {0.0, 0.0, 0.0}, {1.0, 0.5, 0.25});
+  common::Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> y(3);
+    for (auto& v : y) v = rng.Uniform(-5.0, 5.0);
+    const double direct = ExpectedSquaredDistanceToPoint(o, y);
+    const double decomposed =
+        o.total_variance() + common::SquaredDistance(o.mean(), y);
+    EXPECT_NEAR(direct, decomposed, 1e-12);
+  }
+}
+
+TEST(ExpectedDistance, UncertaintyAlwaysIncreasesDistance) {
+  // For equal means, ED^ between uncertain objects exceeds the distance
+  // between their expected values by the total variances.
+  const UncertainObject sharp = UncertainObject::Deterministic(
+      std::vector<double>{1.0, 1.0});
+  const UncertainObject fuzzy =
+      MakeObject(PdfFamily::kNormal, {1.0, 1.0}, {0.5, 0.5});
+  EXPECT_GT(ExpectedSquaredDistance(fuzzy, sharp), 0.0);
+  EXPECT_NEAR(ExpectedSquaredDistance(fuzzy, sharp), fuzzy.total_variance(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace uclust::uncertain

@@ -1,0 +1,246 @@
+// Tests for the library extensions beyond the paper: the algorithm
+// registry, D^2-weighted initialization, the expected-distance silhouette,
+// and model selection for k.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clustering/init.h"
+#include "clustering/registry.h"
+#include "clustering/ucpc.h"
+#include "clustering/ukmeans.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "eval/external.h"
+#include "eval/model_selection.h"
+#include "eval/silhouette.h"
+#include "uncertain/expected_distance.h"
+
+namespace uclust {
+namespace {
+
+data::UncertainDataset PlantedDataset(std::size_t n, int classes,
+                                      uint64_t seed) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = 3;
+  params.classes = classes;
+  params.sigma_min = 0.02;
+  params.sigma_max = 0.04;
+  params.min_separation = 0.5;
+  const auto d = data::MakeGaussianMixture(params, seed, "planted");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+TEST(Registry, ListsAllTwelveAlgorithms) {
+  const auto names = clustering::RegisteredClusterers();
+  EXPECT_EQ(names.size(), 12u);
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Registry, MakeByNameMatchesReportedName) {
+  for (const std::string& name : clustering::RegisteredClusterers()) {
+    auto result = clustering::MakeClusterer(name);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(std::move(result).ValueOrDie()->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameFails) {
+  auto result = clustering::MakeClusterer("DBSCAN++");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(Registry, MakeAllProducesWorkingInstances) {
+  const auto ds = PlantedDataset(60, 2, 1);
+  for (const auto& algo : clustering::MakeAllClusterers()) {
+    const auto r = algo->Cluster(ds, 2, 2);
+    EXPECT_EQ(r.labels.size(), ds.size()) << algo->name();
+  }
+}
+
+TEST(PlusPlusInit, SeedsAreDistinctAndSpread) {
+  const auto ds = PlantedDataset(150, 3, 3);
+  common::Rng rng(4);
+  const auto seeds = clustering::PlusPlusObjects(ds.moments(), 3, &rng);
+  ASSERT_EQ(seeds.size(), 3u);
+  const std::set<std::size_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // With three well-separated classes, D^2 seeding nearly always picks one
+  // seed per class.
+  std::set<int> classes;
+  for (std::size_t s : seeds) classes.insert(ds.labels()[s]);
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(PlusPlusInit, PartitionFromSeedsCoversEveryCluster) {
+  const auto ds = PlantedDataset(90, 3, 5);
+  common::Rng rng(6);
+  const auto seeds = clustering::PlusPlusObjects(ds.moments(), 3, &rng);
+  const auto labels = clustering::PartitionFromSeeds(ds.moments(), seeds);
+  const auto sizes = clustering::ClusterSizes(labels, 3);
+  for (auto s : sizes) EXPECT_GT(s, 0u);
+  for (std::size_t c = 0; c < seeds.size(); ++c) {
+    EXPECT_EQ(labels[seeds[c]], static_cast<int>(c));
+  }
+}
+
+TEST(PlusPlusInit, DegenerateIdenticalPointsStillWorks) {
+  // All means identical: the D^2 mass is zero after the first seed; the
+  // fallback must still return k distinct-ish seeds without hanging.
+  std::vector<uncertain::UncertainObject> objs;
+  for (int i = 0; i < 10; ++i) {
+    objs.push_back(uncertain::UncertainObject::Deterministic(
+        std::vector<double>{1.0, 1.0}));
+  }
+  const data::UncertainDataset ds("flat", std::move(objs), {}, 0);
+  common::Rng rng(7);
+  const auto seeds = clustering::PlusPlusObjects(ds.moments(), 3, &rng);
+  EXPECT_EQ(seeds.size(), 3u);
+}
+
+TEST(PlusPlusInit, ImprovesOrMatchesUkmeansObjective) {
+  const auto ds = PlantedDataset(300, 5, 9);
+  double forgy = 0.0, pp = 0.0;
+  for (uint64_t s = 0; s < 10; ++s) {
+    clustering::Ukmeans::Params fp;
+    fp.init = clustering::InitStrategy::kRandom;
+    clustering::Ukmeans::Params pf;
+    pf.init = clustering::InitStrategy::kPlusPlus;
+    forgy += clustering::Ukmeans(fp).Cluster(ds, 5, s).objective;
+    pp += clustering::Ukmeans(pf).Cluster(ds, 5, s).objective;
+  }
+  EXPECT_LE(pp, forgy * 1.02);  // on average at least as good
+}
+
+TEST(PlusPlusInit, WorksThroughUcpcParams) {
+  const auto ds = PlantedDataset(120, 3, 11);
+  clustering::Ucpc::Params params;
+  params.init = clustering::InitStrategy::kPlusPlus;
+  const clustering::Ucpc algo(params);
+  const auto r = algo.Cluster(ds, 3, 12);
+  EXPECT_EQ(r.clusters_found, 3);
+  EXPECT_GT(eval::AdjustedRand(ds.labels(), r.labels), 0.9);
+}
+
+// --- silhouette -----------------------------------------------------------
+
+// Brute-force silhouette with explicit pairwise ED^ loops.
+double BruteForceSilhouette(const data::UncertainDataset& ds,
+                            const std::vector<int>& labels, int k) {
+  const std::size_t n = ds.size();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> avg(k, 0.0);
+    std::vector<int> count(k, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      avg[labels[j]] +=
+          uncertain::ExpectedSquaredDistance(ds.object(i), ds.object(j));
+      ++count[labels[j]];
+    }
+    if (count[labels[i]] == 0) continue;  // singleton
+    const double a = avg[labels[i]] / count[labels[i]];
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == labels[i] || count[c] == 0) continue;
+      // Note: other clusters include all their members.
+      const int full = c == labels[i] ? count[c] : count[c];
+      b = std::min(b, avg[c] / full);
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+TEST(Silhouette, AggregateMatchesBruteForce) {
+  const auto ds = PlantedDataset(70, 3, 13);
+  common::Rng rng(14);
+  std::vector<int> labels(ds.size());
+  for (auto& l : labels) l = rng.UniformInt(0, 2);
+  for (int c = 0; c < 3; ++c) labels[c] = c;
+  const auto fast = eval::ExpectedSilhouette(ds.moments(), labels, 3);
+  const double brute = BruteForceSilhouette(ds, labels, 3);
+  EXPECT_NEAR(fast.mean, brute, 1e-9 * (1.0 + std::fabs(brute)));
+}
+
+TEST(Silhouette, GoodPartitionScoresHigherThanRandom) {
+  const auto ds = PlantedDataset(150, 3, 15);
+  const clustering::Ucpc algo;
+  const auto good = algo.Cluster(ds, 3, 16);
+  common::Rng rng(17);
+  std::vector<int> random_labels(ds.size());
+  for (auto& l : random_labels) l = rng.UniformInt(0, 2);
+  const double s_good =
+      eval::ExpectedSilhouette(ds.moments(), good.labels, 3).mean;
+  const double s_rand =
+      eval::ExpectedSilhouette(ds.moments(), random_labels, 3).mean;
+  EXPECT_GT(s_good, s_rand);
+  EXPECT_GE(s_good, -1.0);
+  EXPECT_LE(s_good, 1.0);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const auto ds = PlantedDataset(30, 2, 19);
+  const std::vector<int> labels(ds.size(), 0);
+  const auto s = eval::ExpectedSilhouette(ds.moments(), labels, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Silhouette, SingletonClustersGetZeroWidth) {
+  const auto ds = PlantedDataset(20, 2, 21);
+  std::vector<int> labels(ds.size(), 0);
+  labels[5] = 1;  // singleton
+  const auto s = eval::ExpectedSilhouette(ds.moments(), labels, 2);
+  EXPECT_DOUBLE_EQ(s.widths[5], 0.0);
+}
+
+// --- model selection --------------------------------------------------
+
+TEST(ModelSelection, RecoversPlantedKWithSilhouette) {
+  const auto ds = PlantedDataset(240, 4, 23);
+  const clustering::Ucpc algo;
+  const auto sel = eval::SelectK(ds, algo, 2, 7,
+                                 eval::SelectionCriterion::kSilhouette, 3, 24);
+  EXPECT_EQ(sel.best_k, 4);
+  ASSERT_EQ(sel.scores.size(), 6u);
+  EXPECT_EQ(sel.scores.front().k, 2);
+  EXPECT_EQ(sel.scores.back().k, 7);
+}
+
+TEST(ModelSelection, QualityCriterionProducesOrderedSweep) {
+  const auto ds = PlantedDataset(120, 3, 25);
+  const clustering::Ukmeans algo;
+  const auto sel = eval::SelectK(ds, algo, 2, 5,
+                                 eval::SelectionCriterion::kQuality, 2, 26);
+  EXPECT_GE(sel.best_k, 2);
+  EXPECT_LE(sel.best_k, 5);
+  int prev_k = 1;
+  for (const auto& row : sel.scores) {
+    EXPECT_GT(row.k, prev_k);
+    prev_k = row.k;
+    EXPECT_GE(row.score, -1.0);
+    EXPECT_LE(row.score, 1.0);
+  }
+}
+
+TEST(ModelSelection, DeterministicGivenSeed) {
+  const auto ds = PlantedDataset(90, 3, 27);
+  const clustering::Ucpc algo;
+  const auto a = eval::SelectK(ds, algo, 2, 4,
+                               eval::SelectionCriterion::kSilhouette, 2, 28);
+  const auto b = eval::SelectK(ds, algo, 2, 4,
+                               eval::SelectionCriterion::kSilhouette, 2, 28);
+  EXPECT_EQ(a.best_k, b.best_k);
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scores[i].score, b.scores[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace uclust

@@ -1,0 +1,309 @@
+// Unit + property tests for the pdf hierarchy: closed-form moments are
+// validated against Monte-Carlo estimates, truncation/regions obey
+// Definition 1, and CDFs behave like CDFs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "uncertain/dirac_pdf.h"
+#include "uncertain/discrete_pdf.h"
+#include "uncertain/exponential_pdf.h"
+#include "uncertain/normal_pdf.h"
+#include "uncertain/pdf.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust::uncertain {
+namespace {
+
+// Monte-Carlo estimates of mean/variance for cross-checking closed forms.
+struct McMoments {
+  double mean;
+  double var;
+};
+
+McMoments SampleMoments(const Pdf& pdf, int n, uint64_t seed) {
+  common::Rng rng(seed);
+  common::RunningStats stats;
+  for (int i = 0; i < n; ++i) stats.Add(pdf.Sample(&rng));
+  return {stats.mean(), stats.population_variance()};
+}
+
+// Numeric integral of the density over the support (trapezoid rule).
+double IntegrateDensity(const Pdf& pdf, int steps = 20000) {
+  const double lo = pdf.lower();
+  const double hi = pdf.upper();
+  const double h = (hi - lo) / steps;
+  double acc = 0.5 * (pdf.Density(lo) + pdf.Density(hi));
+  for (int i = 1; i < steps; ++i) acc += pdf.Density(lo + i * h);
+  return acc * h;
+}
+
+TEST(UniformPdf, Moments) {
+  UniformPdf pdf(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(pdf.mean(), 4.0);
+  EXPECT_NEAR(pdf.variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_NEAR(pdf.second_moment(), pdf.variance() + 16.0, 1e-12);
+}
+
+TEST(UniformPdf, DensityAndCdf) {
+  UniformPdf pdf(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.Density(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(2.0), 1.0);
+}
+
+TEST(UniformPdf, CenteredFactoryHasRequestedMean) {
+  PdfPtr pdf = UniformPdf::Centered(-3.0, 0.5);
+  EXPECT_DOUBLE_EQ(pdf->mean(), -3.0);
+  EXPECT_DOUBLE_EQ(pdf->lower(), -3.5);
+  EXPECT_DOUBLE_EQ(pdf->upper(), -2.5);
+}
+
+TEST(UniformPdf, SamplesInsideSupportWithMatchingMoments) {
+  UniformPdf pdf(-1.0, 3.0);
+  common::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = pdf.Sample(&rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 3.0);
+  }
+  const McMoments mc = SampleMoments(pdf, 200000, 7);
+  EXPECT_NEAR(mc.mean, pdf.mean(), 0.01);
+  EXPECT_NEAR(mc.var, pdf.variance(), 0.02);
+}
+
+TEST(TruncatedNormalPdf, MeanIsExactAndVarianceShrinks) {
+  TruncatedNormalPdf pdf(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(pdf.mean(), 5.0);
+  // Symmetric truncation at +-c sigma shrinks the variance by the textbook
+  // factor 1 - 2 c phi(c) / (2 Phi(c) - 1), here evaluated independently.
+  const double c = common::kNormal95;
+  const double expected_factor =
+      1.0 - 2.0 * c * common::NormalPdf(c) /
+                (2.0 * common::NormalCdf(c) - 1.0);
+  EXPECT_NEAR(pdf.variance() / 4.0, expected_factor, 1e-12);
+  EXPECT_NEAR(expected_factor, 0.759, 1e-3);  // sanity anchor
+  EXPECT_LT(pdf.variance(), 4.0);
+}
+
+TEST(TruncatedNormalPdf, RegionHolds95PercentOfUntruncatedMass) {
+  TruncatedNormalPdf pdf(0.0, 1.0);
+  EXPECT_NEAR(pdf.lower(), -common::kNormal95, 1e-9);
+  EXPECT_NEAR(pdf.upper(), common::kNormal95, 1e-9);
+}
+
+TEST(TruncatedNormalPdf, DensityIntegratesToOne) {
+  TruncatedNormalPdf pdf(1.0, 0.5);
+  EXPECT_NEAR(IntegrateDensity(pdf), 1.0, 1e-6);
+}
+
+TEST(TruncatedNormalPdf, CdfEndpoints) {
+  TruncatedNormalPdf pdf(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(pdf.lower()), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(pdf.upper()), 1.0);
+  EXPECT_NEAR(pdf.Cdf(0.0), 0.5, 1e-12);
+}
+
+TEST(TruncatedNormalPdf, MonteCarloMatchesClosedForm) {
+  TruncatedNormalPdf pdf(-2.0, 1.5);
+  const McMoments mc = SampleMoments(pdf, 300000, 11);
+  EXPECT_NEAR(mc.mean, pdf.mean(), 0.01);
+  EXPECT_NEAR(mc.var, pdf.variance(), 0.02);
+}
+
+TEST(TruncatedNormalPdf, SamplesStayInRegion) {
+  TruncatedNormalPdf pdf(0.0, 1.0);
+  common::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = pdf.Sample(&rng);
+    EXPECT_GE(x, pdf.lower());
+    EXPECT_LE(x, pdf.upper());
+  }
+}
+
+TEST(TruncatedNormalPdf, CustomCoverage) {
+  TruncatedNormalPdf pdf(0.0, 1.0, 0.99);
+  EXPECT_NEAR(pdf.Cdf(pdf.upper()), 1.0, 1e-12);
+  // 99% region is wider than the 95% one.
+  TruncatedNormalPdf narrow(0.0, 1.0, 0.95);
+  EXPECT_GT(pdf.upper(), narrow.upper());
+  EXPECT_GT(pdf.variance(), narrow.variance());
+}
+
+TEST(TruncatedExponentialPdf, TruncatedMeanIsExactlyW) {
+  for (double w : {-4.0, 0.0, 3.5}) {
+    for (double rate : {0.5, 1.0, 8.0}) {
+      TruncatedExponentialPdf pdf(w, rate);
+      EXPECT_DOUBLE_EQ(pdf.mean(), w) << "w=" << w << " rate=" << rate;
+      const McMoments mc = SampleMoments(pdf, 200000, 13);
+      EXPECT_NEAR(mc.mean, w, 5e-3 / rate + 5e-3);
+      EXPECT_NEAR(mc.var, pdf.variance(), 0.03 / (rate * rate) + 1e-4);
+    }
+  }
+}
+
+TEST(TruncatedExponentialPdf, RegionSpansQ95OverRate) {
+  TruncatedExponentialPdf pdf(0.0, 2.0);
+  EXPECT_NEAR(pdf.upper() - pdf.lower(), common::kExp95 / 2.0, 1e-12);
+  EXPECT_LE(pdf.lower(), pdf.mean());
+  EXPECT_GE(pdf.upper(), pdf.mean());
+}
+
+TEST(TruncatedExponentialPdf, DensityIntegratesToOne) {
+  TruncatedExponentialPdf pdf(1.0, 3.0);
+  EXPECT_NEAR(IntegrateDensity(pdf), 1.0, 1e-6);
+}
+
+TEST(TruncatedExponentialPdf, CdfEndpointsAndMonotonicity) {
+  TruncatedExponentialPdf pdf(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(pdf.lower()), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(pdf.upper()), 1.0);
+  double prev = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = pdf.lower() + i * (pdf.upper() - pdf.lower()) / 20.0;
+    const double c = pdf.Cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TruncatedExponentialPdf, SkewedRight) {
+  TruncatedExponentialPdf pdf(0.0, 1.0);
+  // Density is maximal at the lower end of the support.
+  EXPECT_GT(pdf.Density(pdf.lower() + 1e-9), pdf.Density(pdf.mean()));
+  EXPECT_GT(pdf.Density(pdf.mean()), pdf.Density(pdf.upper() - 1e-9));
+}
+
+TEST(DiracPdf, DegenerateMoments) {
+  DiracPdf pdf(3.0);
+  EXPECT_DOUBLE_EQ(pdf.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(pdf.second_moment(), 9.0);
+  EXPECT_DOUBLE_EQ(pdf.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.lower(), 3.0);
+  EXPECT_DOUBLE_EQ(pdf.upper(), 3.0);
+}
+
+TEST(DiracPdf, SamplingAndCdf) {
+  DiracPdf pdf(-1.5);
+  common::Rng rng(1);
+  EXPECT_DOUBLE_EQ(pdf.Sample(&rng), -1.5);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(-1.5), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(0.0), 1.0);
+}
+
+TEST(DiscretePdf, MomentsMatchHandComputation) {
+  DiscretePdf pdf({1.0, 3.0}, {1.0, 3.0});  // weights normalize to 1/4, 3/4
+  EXPECT_DOUBLE_EQ(pdf.mean(), 0.25 * 1.0 + 0.75 * 3.0);
+  EXPECT_DOUBLE_EQ(pdf.second_moment(), 0.25 * 1.0 + 0.75 * 9.0);
+  EXPECT_DOUBLE_EQ(pdf.lower(), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.upper(), 3.0);
+}
+
+TEST(DiscretePdf, UniformFactoryAndSampling) {
+  PdfPtr pdf = DiscretePdf::Uniformly({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(pdf->mean(), 5.0);
+  common::Rng rng(17);
+  int tens = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = pdf->Sample(&rng);
+    EXPECT_TRUE(x == 0.0 || x == 10.0);
+    if (x == 10.0) ++tens;
+  }
+  EXPECT_NEAR(tens / 10000.0, 0.5, 0.03);
+}
+
+TEST(DiscretePdf, CdfSteps) {
+  DiscretePdf pdf({1.0, 2.0, 3.0}, {1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(pdf.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(3.0), 1.0);
+}
+
+TEST(Pdf, VarianceNeverNegative) {
+  // Cancellation guard: mean^2 ~ second moment for tight pdfs far from 0.
+  TruncatedNormalPdf pdf(1e8, 1e-6);
+  EXPECT_GE(pdf.variance(), 0.0);
+}
+
+// Property sweep: every family reports mean/second_moment consistent with
+// its own samples and keeps all samples inside the region (Definition 1).
+using FamilyParam = std::tuple<const char*, double, double>;  // name, w, scale
+
+class PdfFamilyProperty : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  PdfPtr MakePdf() const {
+    const auto& [family, w, scale] = GetParam();
+    if (std::string(family) == "uniform") {
+      return UniformPdf::Centered(w, scale * std::sqrt(3.0));
+    }
+    if (std::string(family) == "normal") {
+      return TruncatedNormalPdf::Make(w, scale);
+    }
+    return TruncatedExponentialPdf::Make(w, 1.0 / scale);
+  }
+};
+
+TEST_P(PdfFamilyProperty, MeanIsW) {
+  EXPECT_DOUBLE_EQ(MakePdf()->mean(), std::get<1>(GetParam()));
+}
+
+TEST_P(PdfFamilyProperty, SecondMomentConsistent) {
+  PdfPtr pdf = MakePdf();
+  EXPECT_NEAR(pdf->second_moment(),
+              pdf->variance() + pdf->mean() * pdf->mean(),
+              1e-9 * (1.0 + std::fabs(pdf->second_moment())));
+}
+
+TEST_P(PdfFamilyProperty, SamplesInsideRegion) {
+  PdfPtr pdf = MakePdf();
+  common::Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = pdf->Sample(&rng);
+    EXPECT_GE(x, pdf->lower());
+    EXPECT_LE(x, pdf->upper());
+  }
+}
+
+TEST_P(PdfFamilyProperty, MonteCarloVarianceMatches) {
+  PdfPtr pdf = MakePdf();
+  const McMoments mc = SampleMoments(*pdf, 150000, 31);
+  const double scale = std::get<2>(GetParam());
+  EXPECT_NEAR(mc.var, pdf->variance(), 0.05 * scale * scale + 1e-9);
+}
+
+TEST_P(PdfFamilyProperty, CdfReachesOneAtUpper) {
+  PdfPtr pdf = MakePdf();
+  EXPECT_NEAR(pdf->Cdf(pdf->upper()), 1.0, 1e-12);
+  EXPECT_NEAR(pdf->Cdf(pdf->lower()), 0.0, 1e-12);
+}
+
+std::string FamilyParamName(
+    const ::testing::TestParamInfo<FamilyParam>& param_info) {
+  std::string name = std::get<0>(param_info.param);
+  name += "_w" + std::to_string(
+                     static_cast<int>(std::get<1>(param_info.param) * 10 +
+                                      100));
+  name +=
+      "_s" + std::to_string(static_cast<int>(std::get<2>(param_info.param) *
+                                             10));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, PdfFamilyProperty,
+    ::testing::Combine(::testing::Values("uniform", "normal", "exponential"),
+                       ::testing::Values(-5.0, 0.0, 2.5),
+                       ::testing::Values(0.1, 1.0, 4.0)),
+    FamilyParamName);
+
+}  // namespace
+}  // namespace uclust::uncertain

@@ -1,0 +1,296 @@
+// Numeric verification of the paper's formal results, cross-checked against
+// Monte-Carlo simulation rather than against our own closed forms:
+//   Proposition 1 — J_UK can coincide while cluster variances differ.
+//   Proposition 2 — J_MM(C) = J_UK(C)/|C| (mixture variance via MC).
+//   Proposition 3 — J^(C) = 2 J_UK(C)    (mixture distance via MC).
+//   Theorem 1     — U-centroid realizations live in the averaged region.
+//   Theorem 2     — sigma^2(U-centroid) = |C|^-2 sum_i sigma^2(o_i).
+//   Theorem 3     — J(C) closed form = sum_o ED^(o, U-centroid) (MC).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/cluster_stats.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "data/uncertainty_model.h"
+#include "uncertain/moments.h"
+#include "uncertain/uncertain_object.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust::clustering {
+namespace {
+
+using data::MakeUncertainPdf;
+using data::PdfFamily;
+using uncertain::MomentMatrix;
+using uncertain::PdfPtr;
+using uncertain::UncertainObject;
+
+std::vector<UncertainObject> RandomCluster(std::size_t n, std::size_t m,
+                                           uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<UncertainObject> objs;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<PdfPtr> dims;
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto family = static_cast<PdfFamily>(rng.UniformInt(0, 2));
+      dims.push_back(MakeUncertainPdf(family, rng.Uniform(-2.0, 2.0),
+                                      rng.Uniform(0.1, 0.7)));
+    }
+    objs.emplace_back(std::move(dims));
+  }
+  return objs;
+}
+
+ClusterMoments Aggregate(const MomentMatrix& mm) {
+  ClusterMoments c(mm.dims());
+  for (std::size_t i = 0; i < mm.size(); ++i) c.Add(mm, i);
+  return c;
+}
+
+// One realization of the U-centroid: the average of one fresh realization of
+// every member (Theorem 1's construction with the squared Euclidean norm).
+std::vector<double> SampleUCentroid(const std::vector<UncertainObject>& objs,
+                                    common::Rng* rng) {
+  const std::size_t m = objs[0].dims();
+  std::vector<double> acc(m, 0.0);
+  std::vector<double> x(m);
+  for (const auto& o : objs) {
+    o.SampleInto(rng, x);
+    for (std::size_t j = 0; j < m; ++j) acc[j] += x[j];
+  }
+  for (double& v : acc) v /= static_cast<double>(objs.size());
+  return acc;
+}
+
+TEST(Proposition1, EqualJukDoesNotForceEqualVariance) {
+  // Two-object clusters engineered per the proof sketch: same size, same
+  // sum of mu2, same sum of mu (per dimension) -> same J_UK by Lemma 1;
+  // but the mass is split differently between mean offsets and variances.
+  std::vector<PdfPtr> p1, p2, q1, q2;
+  p1.push_back(uncertain::UniformPdf::Centered(0.0, 0.9));  // var 0.27
+  p2.push_back(uncertain::UniformPdf::Centered(2.0, 0.3));  // var 0.03
+  // Cluster C': swap mass between mean offset and variance keeping
+  // mu and mu2 sums fixed: mu2 = var + mu^2.
+  // Pick means 0.5 and 1.5 => sum mu = 2 (same); sum mu^2 = 2.5 (was 4).
+  // Need sum mu2 equal: var' sum = var_sum + (4 - 2.5) = 0.3 + 1.5 = 1.8.
+  q1.push_back(uncertain::UniformPdf::Centered(0.5, std::sqrt(3.0 * 0.9)));
+  q2.push_back(uncertain::UniformPdf::Centered(1.5, std::sqrt(3.0 * 0.9)));
+  std::vector<UncertainObject> cc, cd;
+  cc.emplace_back(std::move(p1));
+  cc.emplace_back(std::move(p2));
+  cd.emplace_back(std::move(q1));
+  cd.emplace_back(std::move(q2));
+  const ClusterMoments c = Aggregate(MomentMatrix::FromObjects(cc));
+  const ClusterMoments d = Aggregate(MomentMatrix::FromObjects(cd));
+  EXPECT_NEAR(UkmeansObjective(c), UkmeansObjective(d), 1e-9);
+  // ... while the total member variances differ substantially:
+  double var_c = 0.0, var_d = 0.0;
+  for (std::size_t j = 0; j < 1; ++j) {
+    var_c += c.sum_var()[j];
+    var_d += d.sum_var()[j];
+  }
+  EXPECT_GT(std::fabs(var_c - var_d), 0.5);
+  // And UCPC's objective does tell the two clusters apart:
+  EXPECT_GT(std::fabs(UcpcObjective(c) - UcpcObjective(d)), 0.1);
+}
+
+TEST(Proposition2, MmvarEqualsJukOverSize) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const auto objs = RandomCluster(7, 3, seed);
+    const ClusterMoments c = Aggregate(MomentMatrix::FromObjects(objs));
+    EXPECT_NEAR(MmvarObjective(c), UkmeansObjective(c) / 7.0,
+                1e-9 * (1.0 + MmvarObjective(c)));
+  }
+}
+
+TEST(Proposition2, MixtureVarianceMatchesMonteCarlo) {
+  // Independent check of J_MM: sample the mixture centroid (pick a member
+  // uniformly, then sample it) and compare the empirical total variance.
+  const auto objs = RandomCluster(5, 2, 42);
+  const ClusterMoments c = Aggregate(MomentMatrix::FromObjects(objs));
+  const double jmm = MmvarObjective(c);
+  common::Rng rng(99);
+  common::RunningStats d0, d1;
+  for (int t = 0; t < 400000; ++t) {
+    const auto& o = objs[rng.Index(objs.size())];
+    d0.Add(o.pdf(0).Sample(&rng));
+    d1.Add(o.pdf(1).Sample(&rng));
+  }
+  const double mc_var = d0.population_variance() + d1.population_variance();
+  EXPECT_NEAR(mc_var, jmm, 0.02 * (1.0 + jmm));
+}
+
+TEST(Proposition3, MixedObjectiveIsTwiceJuk) {
+  // J^(C) = sum_o ED^(o, C_MM) where the mixture centroid's moments follow
+  // Lemma 2; verify J^ = 2 J_UK = 2 |C| J_MM.
+  const auto objs = RandomCluster(6, 3, 17);
+  const MomentMatrix mm = MomentMatrix::FromObjects(objs);
+  const ClusterMoments c = Aggregate(mm);
+  const std::size_t n = objs.size();
+  const std::size_t m = mm.dims();
+  double j_hat = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double mu_mm = c.sum_mu()[j] / static_cast<double>(n);
+      const double mu2_mm = c.sum_mu2()[j] / static_cast<double>(n);
+      j_hat += mm.second_moment(i)[j] - 2.0 * mm.mean(i)[j] * mu_mm + mu2_mm;
+    }
+  }
+  EXPECT_NEAR(j_hat, 2.0 * UkmeansObjective(c), 1e-9 * (1.0 + j_hat));
+  EXPECT_NEAR(j_hat, 2.0 * static_cast<double>(n) * MmvarObjective(c),
+              1e-9 * (1.0 + j_hat));
+}
+
+TEST(Theorem1, UCentroidRealizationsLiveInAveragedRegion) {
+  const auto objs = RandomCluster(4, 3, 5);
+  // Averaged region bounds per Theorem 1.
+  std::vector<double> lo(3, 0.0), hi(3, 0.0);
+  for (const auto& o : objs) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      lo[j] += o.region().lower()[j];
+      hi[j] += o.region().upper()[j];
+    }
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    lo[j] /= static_cast<double>(objs.size());
+    hi[j] /= static_cast<double>(objs.size());
+  }
+  common::Rng rng(6);
+  for (int t = 0; t < 5000; ++t) {
+    const auto x = SampleUCentroid(objs, &rng);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(x[j], lo[j] - 1e-12);
+      EXPECT_LE(x[j], hi[j] + 1e-12);
+    }
+  }
+}
+
+TEST(Theorem1, UCentroidMeanIsAverageOfMeans) {
+  const auto objs = RandomCluster(5, 2, 7);
+  common::Rng rng(8);
+  common::RunningStats d0, d1;
+  for (int t = 0; t < 200000; ++t) {
+    const auto x = SampleUCentroid(objs, &rng);
+    d0.Add(x[0]);
+    d1.Add(x[1]);
+  }
+  double m0 = 0.0, m1 = 0.0;
+  for (const auto& o : objs) {
+    m0 += o.mean()[0];
+    m1 += o.mean()[1];
+  }
+  m0 /= static_cast<double>(objs.size());
+  m1 /= static_cast<double>(objs.size());
+  EXPECT_NEAR(d0.mean(), m0, 5e-3);
+  EXPECT_NEAR(d1.mean(), m1, 5e-3);
+}
+
+TEST(Theorem2, UCentroidVarianceIsAveragedMemberVariance) {
+  for (uint64_t seed : {11u, 12u}) {
+    const auto objs = RandomCluster(6, 2, seed);
+    double sum_var = 0.0;
+    for (const auto& o : objs) sum_var += o.total_variance();
+    const double expected =
+        sum_var / static_cast<double>(objs.size() * objs.size());
+    common::Rng rng(seed + 100);
+    common::RunningStats d0, d1;
+    for (int t = 0; t < 300000; ++t) {
+      const auto x = SampleUCentroid(objs, &rng);
+      d0.Add(x[0]);
+      d1.Add(x[1]);
+    }
+    const double mc = d0.population_variance() + d1.population_variance();
+    EXPECT_NEAR(mc, expected, 0.03 * (1.0 + expected)) << "seed " << seed;
+  }
+}
+
+TEST(Theorem2, VarianceCriterionIgnoresObjectSpread) {
+  // The failure mode of minimizing sigma^2(U-centroid) (Figure 2): a cluster
+  // of two tiny-variance objects very far apart scores *better* than a
+  // cluster of two overlapping moderate-variance objects.
+  std::vector<PdfPtr> a1, a2, b1, b2;
+  a1.push_back(MakeUncertainPdf(PdfFamily::kNormal, -50.0, 0.01));
+  a2.push_back(MakeUncertainPdf(PdfFamily::kNormal, 50.0, 0.01));
+  b1.push_back(MakeUncertainPdf(PdfFamily::kNormal, 0.0, 0.5));
+  b2.push_back(MakeUncertainPdf(PdfFamily::kNormal, 0.1, 0.5));
+  std::vector<UncertainObject> far_apart, overlapping;
+  far_apart.emplace_back(std::move(a1));
+  far_apart.emplace_back(std::move(a2));
+  overlapping.emplace_back(std::move(b1));
+  overlapping.emplace_back(std::move(b2));
+  const ClusterMoments ca = Aggregate(MomentMatrix::FromObjects(far_apart));
+  const ClusterMoments cb = Aggregate(MomentMatrix::FromObjects(overlapping));
+  // U-centroid variance (Theorem 2 value) prefers the far-apart cluster...
+  double var_a = 0.0, var_b = 0.0;
+  var_a = ca.sum_var()[0] / 4.0;
+  var_b = cb.sum_var()[0] / 4.0;
+  EXPECT_LT(var_a, var_b);
+  // ...while the UCPC objective correctly prefers the overlapping one.
+  EXPECT_LT(UcpcObjective(cb), UcpcObjective(ca));
+}
+
+TEST(Theorem3, ClosedFormMatchesMonteCarloExpectedDistance) {
+  const auto objs = RandomCluster(5, 2, 21);
+  const MomentMatrix mm = MomentMatrix::FromObjects(objs);
+  const ClusterMoments c = Aggregate(mm);
+  const double closed = UcpcObjective(c);
+
+  // MC of sum_o ED^(o, U-centroid) with o's realization independent of the
+  // centroid's (Lemma 3's independence assumption).
+  common::Rng rng(22);
+  double acc = 0.0;
+  const int trials = 200000;
+  std::vector<double> xo(2);
+  for (int t = 0; t < trials; ++t) {
+    const auto xc = SampleUCentroid(objs, &rng);
+    const std::size_t i = static_cast<std::size_t>(t) % objs.size();
+    objs[i].SampleInto(&rng, xo);
+    acc += common::SquaredDistance(xo, xc) * static_cast<double>(objs.size());
+  }
+  const double mc = acc / trials;
+  EXPECT_NEAR(mc, closed, 0.03 * (1.0 + closed));
+}
+
+TEST(Theorem3, PerObjectClosedFormMatchesMonteCarlo) {
+  const auto objs = RandomCluster(4, 3, 31);
+  const MomentMatrix mm = MomentMatrix::FromObjects(objs);
+  const ClusterMoments c = Aggregate(mm);
+  const std::size_t target = 2;
+  const double closed = ExpectedDistanceToUCentroid(c, mm, target);
+  common::Rng rng(32);
+  common::RunningStats stats;
+  std::vector<double> xo(3);
+  for (int t = 0; t < 300000; ++t) {
+    const auto xc = SampleUCentroid(objs, &rng);
+    objs[target].SampleInto(&rng, xo);
+    stats.Add(common::SquaredDistance(xo, xc));
+  }
+  EXPECT_NEAR(stats.mean(), closed, 0.03 * (1.0 + closed));
+}
+
+TEST(Theorem3, FigureOneScenario) {
+  // Figure 1: two clusters with the same central tendency, different
+  // variances. J_UK cannot tell them apart; J (UCPC) prefers the compact one.
+  std::vector<UncertainObject> tight, loose;
+  for (double mu : {-1.0, 0.0, 1.0}) {
+    std::vector<PdfPtr> dt, dl;
+    dt.push_back(MakeUncertainPdf(PdfFamily::kNormal, mu, 0.1));
+    dl.push_back(MakeUncertainPdf(PdfFamily::kNormal, mu, 1.0));
+    tight.emplace_back(std::move(dt));
+    loose.emplace_back(std::move(dl));
+  }
+  const ClusterMoments ct = Aggregate(MomentMatrix::FromObjects(tight));
+  const ClusterMoments cl = Aggregate(MomentMatrix::FromObjects(loose));
+  // J_UK difference comes only from the variance-induced mu2 shift; the
+  // *mean geometry* term is identical. UCPC adds the variance term on top,
+  // so its preference for the tight cluster is strictly stronger.
+  const double gap_uk = UkmeansObjective(cl) - UkmeansObjective(ct);
+  const double gap_ucpc = UcpcObjective(cl) - UcpcObjective(ct);
+  EXPECT_GT(gap_ucpc, gap_uk);
+  EXPECT_LT(UcpcObjective(ct), UcpcObjective(cl));
+}
+
+}  // namespace
+}  // namespace uclust::clustering

@@ -1,0 +1,112 @@
+// Tests for UK-medoids (PAM over pairwise expected distances).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "clustering/ukmedoids.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "eval/external.h"
+#include "uncertain/expected_distance.h"
+
+namespace uclust::clustering {
+namespace {
+
+data::UncertainDataset PlantedDataset(std::size_t n, int classes,
+                                      uint64_t seed) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = 3;
+  params.classes = classes;
+  params.sigma_min = 0.02;
+  params.sigma_max = 0.04;
+  params.min_separation = 0.5;
+  const auto d = data::MakeGaussianMixture(params, seed, "planted");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+// PAM with random medoid init is seed-sensitive; take best objective.
+ClusteringResult BestOfSeeds(const Clusterer& algo,
+                             const data::UncertainDataset& ds, int k,
+                             int seeds) {
+  ClusteringResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < seeds; ++s) {
+    ClusteringResult r = algo.Cluster(ds, k, static_cast<uint64_t>(s));
+    if (r.objective < best.objective) best = std::move(r);
+  }
+  return best;
+}
+
+TEST(UkMedoids, RecoversPlantedClustersClosedForm) {
+  UkMedoids::Params p;
+  p.use_closed_form = true;
+  const UkMedoids algo(p);
+  const auto ds = PlantedDataset(150, 3, 1);
+  const ClusteringResult r = algo.Cluster(ds, 3, 2);
+  EXPECT_EQ(r.clusters_found, 3);
+  EXPECT_GT(eval::AdjustedRand(ds.labels(), r.labels), 0.85);
+  EXPECT_EQ(r.ed_evaluations, 0);  // closed form counts no integrations
+}
+
+TEST(UkMedoids, RecoversPlantedClustersSampled) {
+  const UkMedoids algo;
+  const auto ds = PlantedDataset(120, 3, 3);
+  const ClusteringResult r = BestOfSeeds(algo, ds, 3, 8);
+  EXPECT_GT(eval::AdjustedRand(ds.labels(), r.labels), 0.8);
+  // Offline table: n(n-1)/2 sampled integrations.
+  EXPECT_EQ(r.ed_evaluations, 120 * 119 / 2);
+}
+
+TEST(UkMedoids, SampledModeAgreesWithClosedFormOnSeparatedData) {
+  const auto ds = PlantedDataset(100, 3, 5);
+  UkMedoids::Params exact_params;
+  exact_params.use_closed_form = true;
+  const ClusteringResult exact = UkMedoids(exact_params).Cluster(ds, 3, 6);
+  const ClusteringResult sampled = UkMedoids().Cluster(ds, 3, 6);
+  EXPECT_GT(eval::AdjustedRand(exact.labels, sampled.labels), 0.9);
+}
+
+TEST(UkMedoids, DeterministicGivenSeeds) {
+  const auto ds = PlantedDataset(80, 2, 7);
+  const UkMedoids algo;
+  const auto a = algo.Cluster(ds, 2, 8);
+  const auto b = algo.Cluster(ds, 2, 8);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(UkMedoids, ObjectiveIsSumOfMemberToMedoidDistances) {
+  UkMedoids::Params p;
+  p.use_closed_form = true;
+  const UkMedoids algo(p);
+  const auto ds = PlantedDataset(60, 2, 9);
+  const ClusteringResult r = algo.Cluster(ds, 2, 10);
+  EXPECT_GT(r.objective, 0.0);
+  // Lower bound: sum of (2x) total variances — ED^ between distinct objects
+  // is at least the sum of their variances, and the medoid's own term is
+  // 2 sigma^2(medoid) > 0.
+  EXPECT_TRUE(std::isfinite(r.objective));
+}
+
+TEST(UkMedoids, KEqualsOneSingleCluster) {
+  UkMedoids::Params p;
+  p.use_closed_form = true;
+  const auto ds = PlantedDataset(40, 2, 11);
+  const ClusteringResult r = UkMedoids(p).Cluster(ds, 1, 12);
+  EXPECT_EQ(r.clusters_found, 1);
+}
+
+TEST(UkMedoids, OfflinePhaseDominatesRuntimeAccounting) {
+  const auto ds = PlantedDataset(120, 3, 13);
+  const ClusteringResult r = UkMedoids().Cluster(ds, 3, 14);
+  // The pairwise sampled table must be attributed offline, not online.
+  EXPECT_GT(r.offline_ms, 0.0);
+  EXPECT_GE(r.online_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace uclust::clustering
