@@ -4,7 +4,7 @@
 // the online runtime, and verifies that the final partitions are identical
 // (the pruners are exact).
 //
-// Flags: --n=2000 --k=5,10,20 --samples=32 --seed=1
+// Flags: --n=2000 --k=5,10,20 --samples=32 --seed=1 --threads=1
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +14,7 @@
 #include "common/csv.h"
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
+#include "engine/engine.h"
 
 namespace {
 using namespace uclust;  // NOLINT: bench brevity
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;
   const auto ds = data::UncertaintyModel(source, up, seed + 1).Uncertain();
+  const engine::Engine eng(engine::EngineConfigFromArgs(args));
 
   struct Config {
     const char* label;
@@ -65,7 +67,8 @@ int main(int argc, char** argv) {
       p.samples = samples;
       p.pruning = cfg.strategy;
       p.cluster_shift = cfg.shift;
-      const clustering::BasicUkmeans algo(p);
+      clustering::BasicUkmeans algo(p);
+      algo.set_engine(eng);
       const auto r = algo.Cluster(ds, k, seed + 3);
       if (cfg.strategy == clustering::PruningStrategy::kNone) {
         baseline_evals = r.ed_evaluations;

@@ -5,20 +5,25 @@
 // (MMVar, UK-means, MinMax-BB, VDBiP, UCPC).
 //
 // Offline phases (sample drawing, pairwise tables) are excluded from the
-// reported time, matching the paper's protocol. The slower group runs on a
-// subsample (its size is printed) because of its quadratic cost/memory —
-// the paper's qualitative claim is about orders of magnitude, which survives
-// scaling. Flags:
-//   --runs=N      timed repetitions per algorithm      (default 1)
-//   --scale=F     fast-group dataset scale in (0,1]    (default 0.5)
-//   --slow_cap=N  slower-group subsample cap           (default 1200)
-//   --genes=N     gene count for the real datasets     (default 3000)
-//   --seed=S      master seed                          (default 1)
+// reported time, matching the paper's protocol, but both phases are
+// persisted to a machine-readable BENCH_fig4_efficiency.json. The slower
+// group runs on a subsample (its size is printed) because of its quadratic
+// cost/memory — the paper's qualitative claim is about orders of magnitude,
+// which survives scaling. Flags:
+//   --runs=N        timed repetitions per algorithm      (default 1)
+//   --threads=N     engine threads; 0 = hardware         (default 1)
+//   --block_size=B  engine block size                    (default 1024)
+//   --json_out=PATH JSON path (default BENCH_fig4_efficiency.json)
+//   --scale=F       fast-group dataset scale in (0,1]    (default 0.5)
+//   --slow_cap=N    slower-group subsample cap           (default 1200)
+//   --genes=N       gene count for the real datasets     (default 3000)
+//   --seed=S        master seed                          (default 1)
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "clustering/basic_ukmeans.h"
 #include "clustering/fdbscan.h"
 #include "clustering/foptics.h"
@@ -31,6 +36,7 @@
 #include "data/benchmark_gen.h"
 #include "data/microarray_gen.h"
 #include "data/uncertainty_model.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -43,14 +49,35 @@ struct Workload {
   int k;
 };
 
-double TimeAlgorithm(const clustering::Clusterer& algo,
-                     const data::UncertainDataset& ds, int k, int runs,
-                     uint64_t seed) {
-  double total = 0.0;
+struct PhaseTimes {
+  double online_ms = 0.0;
+  double offline_ms = 0.0;
+};
+
+PhaseTimes TimeAlgorithm(const clustering::Clusterer& algo,
+                         const data::UncertainDataset& ds, int k, int runs,
+                         uint64_t seed) {
+  PhaseTimes total;
   for (int r = 0; r < runs; ++r) {
-    total += algo.Cluster(ds, k, seed + r).online_ms;
+    const clustering::ClusteringResult result = algo.Cluster(ds, k, seed + r);
+    total.online_ms += result.online_ms;
+    total.offline_ms += result.offline_ms;
   }
-  return total / runs;
+  total.online_ms /= runs;
+  total.offline_ms /= runs;
+  return total;
+}
+
+void JsonAlgorithmRow(bench::JsonWriter* json, const std::string& group,
+                      const std::string& name, std::size_t n,
+                      const PhaseTimes& t) {
+  json->BeginObject();
+  json->KV("group", group);
+  json->KV("name", name);
+  json->KV("n", n);
+  json->KV("online_ms", t.online_ms);
+  json->KV("offline_ms", t.offline_ms);
+  json->EndObject();
 }
 
 }  // namespace
@@ -63,6 +90,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("slow_cap", 1200));
   const int genes = static_cast<int>(args.GetInt("genes", 3000));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string json_out =
+      args.GetString("json_out", "BENCH_fig4_efficiency.json");
+
+  const engine::Engine eng(engine::EngineConfigFromArgs(args));
 
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;
@@ -87,7 +118,7 @@ int main(int argc, char** argv) {
     workloads.push_back({spec.name, std::move(full), std::move(small), 5});
   }
 
-  // The two groups of Figure 4.
+  // The two groups of Figure 4, all running on one shared engine.
   std::vector<std::unique_ptr<clustering::Clusterer>> slow_group;
   slow_group.push_back(std::make_unique<clustering::UkMedoids>());
   slow_group.push_back(std::make_unique<clustering::BasicUkmeans>());
@@ -107,39 +138,79 @@ int main(int argc, char** argv) {
     fast_group.push_back(std::make_unique<clustering::BasicUkmeans>(p));
   }
   fast_group.push_back(std::make_unique<clustering::Ucpc>());
+  for (auto& algo : slow_group) algo->set_engine(eng);
+  for (auto& algo : fast_group) algo->set_engine(eng);
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "fig4_efficiency");
+  json.Key("config");
+  json.BeginObject();
+  json.KV("runs", runs);
+  json.KV("scale", scale);
+  json.KV("slow_cap", slow_cap);
+  json.KV("genes", genes);
+  json.KV("seed", static_cast<int64_t>(seed));
+  json.KV("threads", eng.num_threads());
+  json.KV("block_size", eng.block_size());
+  json.EndObject();
+  json.Key("workloads");
+  json.BeginArray();
 
   std::printf("=== Figure 4: online clustering runtimes in ms "
-              "(runs=%d, scale=%.2f, slow_cap=%zu) ===\n\n",
-              runs, scale, slow_cap);
+              "(runs=%d, scale=%.2f, slow_cap=%zu, threads=%d) ===\n\n",
+              runs, scale, slow_cap, eng.num_threads());
   for (const auto& w : workloads) {
     std::printf("--- %s: k=%d, fast group n=%zu, slow group n=%zu ---\n",
                 w.name.c_str(), w.k, w.fast_ds.size(), w.slow_ds.size());
+    json.BeginObject();
+    json.KV("name", w.name);
+    json.KV("k", w.k);
+    json.KV("fast_n", w.fast_ds.size());
+    json.KV("slow_n", w.slow_ds.size());
+    json.Key("algorithms");
+    json.BeginArray();
     std::printf("  [slower group, subsampled]\n");
     // UCPC is printed in both plots in the paper; replicate that so each
     // group is directly comparable to it.
-    const clustering::Ucpc ucpc_ref;
-    const double ucpc_on_slow =
+    clustering::Ucpc ucpc_ref;
+    ucpc_ref.set_engine(eng);
+    const PhaseTimes ucpc_on_slow =
         TimeAlgorithm(ucpc_ref, w.slow_ds, w.k, runs, seed + 5);
     for (const auto& algo : slow_group) {
-      const double ms = TimeAlgorithm(*algo, w.slow_ds, w.k, runs, seed + 5);
+      const PhaseTimes t = TimeAlgorithm(*algo, w.slow_ds, w.k, runs, seed + 5);
       std::printf("    %-14s %12.2f ms   (%8.1fx UCPC)\n",
-                  algo->name().c_str(), ms,
-                  ucpc_on_slow > 0 ? ms / ucpc_on_slow : 0.0);
+                  algo->name().c_str(), t.online_ms,
+                  ucpc_on_slow.online_ms > 0
+                      ? t.online_ms / ucpc_on_slow.online_ms
+                      : 0.0);
+      JsonAlgorithmRow(&json, "slow", algo->name(), w.slow_ds.size(), t);
     }
-    std::printf("    %-14s %12.2f ms\n", "UCPC", ucpc_on_slow);
+    std::printf("    %-14s %12.2f ms\n", "UCPC", ucpc_on_slow.online_ms);
+    JsonAlgorithmRow(&json, "slow", "UCPC", w.slow_ds.size(), ucpc_on_slow);
     std::printf("  [faster group, full scaled size]\n");
     double ucpc_fast = 0.0;
     std::vector<std::pair<std::string, double>> rows;
     for (const auto& algo : fast_group) {
-      const double ms = TimeAlgorithm(*algo, w.fast_ds, w.k, runs, seed + 6);
-      rows.emplace_back(algo->name(), ms);
-      if (algo->name() == "UCPC") ucpc_fast = ms;
+      const PhaseTimes t = TimeAlgorithm(*algo, w.fast_ds, w.k, runs, seed + 6);
+      rows.emplace_back(algo->name(), t.online_ms);
+      if (algo->name() == "UCPC") ucpc_fast = t.online_ms;
+      JsonAlgorithmRow(&json, "fast", algo->name(), w.fast_ds.size(), t);
     }
     for (const auto& [name, ms] : rows) {
       std::printf("    %-14s %12.2f ms   (%8.1fx UCPC)\n", name.c_str(), ms,
                   ucpc_fast > 0 ? ms / ucpc_fast : 0.0);
     }
+    json.EndArray();
+    json.EndObject();
     std::printf("\n");
+  }
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteFile(json_out)) {
+    std::printf("[wrote %s]\n", json_out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
   }
   std::printf("Expected shape (paper): UCPC orders of magnitude below the "
               "slower group,\nwithin the same order as UK-means/MMVar, and "

@@ -4,16 +4,27 @@
 // (UK-means, MMVar, UCPC) are reported; all three consume only per-object
 // moment statistics, so the sweep streams moments directly.
 //
+// Besides the paper's table, the bench measures the serial-vs-parallel
+// speedup of the execution engine at the 100% size and persists everything
+// to a machine-readable BENCH_fig5_scalability.json (see --json_out).
+//
 // Flags:
 //   --base_n=N        100% dataset size          (default 100000)
 //   --runs=N          timed repetitions per cell (default 1)
+//   --threads=N       engine threads for the sweep; 0 = hardware (default 1)
+//   --block_size=B    engine block size          (default 1024)
+//   --speedup_threads=N  thread count of the speedup probe; 0 = hardware
+//                        (default 0)
+//   --json_out=PATH   JSON output path (default BENCH_fig5_scalability.json)
 //   --with_pruning    also time bUKM/MinMax-BB/VDBiP (object-backed; the
 //                     base size is then capped at --pruning_cap)
 //   --pruning_cap=N   cap for the pruning sweep  (default 8000)
 //   --seed=S          master seed                (default 1)
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "clustering/basic_ukmeans.h"
 #include "clustering/mmvar.h"
 #include "clustering/ucpc.h"
@@ -22,9 +33,42 @@
 #include "common/stopwatch.h"
 #include "data/kdd_gen.h"
 #include "data/uncertainty_model.h"
+#include "engine/engine.h"
 
 namespace {
 using namespace uclust;  // NOLINT: bench brevity
+
+struct Timing {
+  double ms = 0.0;
+  int iterations = 0;
+};
+
+// Average online time of each moment-kernel algorithm over `runs`.
+void TimeFastGroup(const uncertain::MomentMatrix& mm, int k, int runs,
+                   uint64_t seed, const engine::Engine& eng, Timing* ukm,
+                   Timing* mmv, Timing* ucpc) {
+  for (int r = 0; r < runs; ++r) {
+    common::Stopwatch sw;
+    ukm->iterations = clustering::Ukmeans::RunOnMoments(
+                          mm, k, seed + r, clustering::Ukmeans::Params(), eng)
+                          .iterations;
+    ukm->ms += sw.ElapsedMs();
+    sw.Reset();
+    mmv->iterations = clustering::Mmvar::RunOnMoments(
+                          mm, k, seed + r, clustering::Mmvar::Params(), eng)
+                          .passes;
+    mmv->ms += sw.ElapsedMs();
+    sw.Reset();
+    ucpc->iterations = clustering::Ucpc::RunOnMoments(
+                           mm, k, seed + r, clustering::Ucpc::Params(), eng)
+                           .passes;
+    ucpc->ms += sw.ElapsedMs();
+  }
+  ukm->ms /= runs;
+  mmv->ms /= runs;
+  ucpc->ms /= runs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -36,45 +80,118 @@ int main(int argc, char** argv) {
   const std::size_t pruning_cap =
       static_cast<std::size_t>(args.GetInt("pruning_cap", 8000));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string json_out =
+      args.GetString("json_out", "BENCH_fig5_scalability.json");
   const int k = 23;
+
+  const engine::EngineConfig engine_config = engine::EngineConfigFromArgs(args);
+  const engine::Engine eng(engine_config);
+  engine::EngineConfig speedup_config = engine_config;
+  speedup_config.num_threads =
+      static_cast<int>(args.GetInt("speedup_threads", 0));
+  const engine::Engine speedup_eng(speedup_config);
+  const engine::Engine serial_eng;
 
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;
 
   const double fractions[] = {0.05, 0.10, 0.25, 0.50, 0.75, 1.00};
 
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "fig5_scalability");
+  json.Key("config");
+  json.BeginObject();
+  json.KV("base_n", base_n);
+  json.KV("runs", runs);
+  json.KV("seed", static_cast<int64_t>(seed));
+  json.KV("k", k);
+  json.KV("m", 42);
+  json.KV("threads", eng.num_threads());
+  json.KV("block_size", eng.block_size());
+  json.EndObject();
+
   std::printf("=== Figure 5: scalability on the KDD-like dataset "
-              "(base n=%zu, m=42, k=23, runs=%d) ===\n\n",
-              base_n, runs);
+              "(base n=%zu, m=42, k=23, runs=%d, threads=%d) ===\n\n",
+              base_n, runs, eng.num_threads());
   std::printf("%8s %10s | %12s %12s %12s\n", "fraction", "n", "UK-means",
               "MMVar", "UCPC");
+  json.Key("results");
+  json.BeginArray();
+  uncertain::MomentMatrix largest_mm;
   for (double frac : fractions) {
     data::KddLikeParams params;
     params.n = std::max<std::size_t>(
         static_cast<std::size_t>(k),
         static_cast<std::size_t>(static_cast<double>(base_n) * frac));
     std::vector<int> labels;
-    const uncertain::MomentMatrix mm =
+    uncertain::MomentMatrix mm =
         data::MakeKddLikeMoments(params, up, seed, &labels);
 
-    double t_ukm = 0.0, t_mmv = 0.0, t_ucpc = 0.0;
-    int it_ukm = 0, it_mmv = 0, it_ucpc = 0;
-    for (int r = 0; r < runs; ++r) {
-      common::Stopwatch sw;
-      it_ukm = clustering::Ukmeans::RunOnMoments(mm, k, seed + r).iterations;
-      t_ukm += sw.ElapsedMs();
-      sw.Reset();
-      it_mmv = clustering::Mmvar::RunOnMoments(mm, k, seed + r).passes;
-      t_mmv += sw.ElapsedMs();
-      sw.Reset();
-      it_ucpc = clustering::Ucpc::RunOnMoments(mm, k, seed + r).passes;
-      t_ucpc += sw.ElapsedMs();
-    }
+    Timing ukm, mmv, ucpc;
+    TimeFastGroup(mm, k, runs, seed, eng, &ukm, &mmv, &ucpc);
     std::printf(
         "%7.0f%% %10zu | %8.1fms (I=%3d) %8.1fms (I=%3d) %8.1fms (I=%3d)\n",
-        frac * 100.0, mm.size(), t_ukm / runs, it_ukm, t_mmv / runs, it_mmv,
-        t_ucpc / runs, it_ucpc);
+        frac * 100.0, mm.size(), ukm.ms, ukm.iterations, mmv.ms,
+        mmv.iterations, ucpc.ms, ucpc.iterations);
+    json.BeginObject();
+    json.KV("fraction", frac);
+    json.KV("n", mm.size());
+    json.Key("online_ms");
+    json.BeginObject();
+    json.KV("UK-means", ukm.ms);
+    json.KV("MMVar", mmv.ms);
+    json.KV("UCPC", ucpc.ms);
+    json.EndObject();
+    json.Key("iterations");
+    json.BeginObject();
+    json.KV("UK-means", ukm.iterations);
+    json.KV("MMVar", mmv.iterations);
+    json.KV("UCPC", ucpc.iterations);
+    json.EndObject();
+    json.EndObject();
+    if (frac == 1.00) largest_mm = std::move(mm);
   }
+  json.EndArray();
+
+  // Serial vs parallel on the 100% dataset: the engine's speedup entry that
+  // tracks the perf trajectory across PRs.
+  std::printf("\n[engine speedup at n=%zu: 1 thread vs %d threads]\n",
+              largest_mm.size(), speedup_eng.num_threads());
+  std::printf("%12s | %12s %12s %10s\n", "algorithm", "serial", "parallel",
+              "speedup");
+  json.Key("speedup");
+  json.BeginArray();
+  {
+    Timing s_ukm, s_mmv, s_ucpc;
+    TimeFastGroup(largest_mm, k, runs, seed, serial_eng, &s_ukm, &s_mmv,
+                  &s_ucpc);
+    Timing p_ukm, p_mmv, p_ucpc;
+    TimeFastGroup(largest_mm, k, runs, seed, speedup_eng, &p_ukm, &p_mmv,
+                  &p_ucpc);
+    const struct {
+      const char* name;
+      const Timing* serial;
+      const Timing* parallel;
+    } rows[] = {{"UK-means", &s_ukm, &p_ukm},
+                {"MMVar", &s_mmv, &p_mmv},
+                {"UCPC", &s_ucpc, &p_ucpc}};
+    for (const auto& row : rows) {
+      const double speedup =
+          row.parallel->ms > 0.0 ? row.serial->ms / row.parallel->ms : 0.0;
+      std::printf("%12s | %10.1fms %10.1fms %9.2fx\n", row.name,
+                  row.serial->ms, row.parallel->ms, speedup);
+      json.BeginObject();
+      json.KV("name", row.name);
+      json.KV("n", largest_mm.size());
+      json.KV("serial_ms", row.serial->ms);
+      json.KV("parallel_ms", row.parallel->ms);
+      json.KV("threads", speedup_eng.num_threads());
+      json.KV("speedup", speedup);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
 
   if (with_pruning) {
     std::printf("\n[pruning-based variants: object-backed sweep, base "
@@ -82,6 +199,8 @@ int main(int argc, char** argv) {
                 pruning_cap);
     std::printf("%8s %10s | %12s %12s %12s\n", "fraction", "n", "bUK-means",
                 "MinMax-BB", "VDBiP");
+    json.Key("pruning_results");
+    json.BeginArray();
     for (double frac : fractions) {
       data::KddLikeParams params;
       params.n = std::max<std::size_t>(
@@ -90,12 +209,15 @@ int main(int argc, char** argv) {
       const auto source = data::MakeKddLikeDataset(params, seed);
       const auto ds = data::UncertaintyModel(source, up, seed + 1).Uncertain();
       clustering::BasicUkmeans::Params bp;
-      const clustering::BasicUkmeans plain(bp);
+      clustering::BasicUkmeans plain(bp);
       bp.pruning = clustering::PruningStrategy::kMinMaxBB;
       bp.cluster_shift = true;
-      const clustering::BasicUkmeans minmax(bp);
+      clustering::BasicUkmeans minmax(bp);
       bp.pruning = clustering::PruningStrategy::kVoronoi;
-      const clustering::BasicUkmeans voronoi(bp);
+      clustering::BasicUkmeans voronoi(bp);
+      plain.set_engine(eng);
+      minmax.set_engine(eng);
+      voronoi.set_engine(eng);
       double t0 = 0.0, t1 = 0.0, t2 = 0.0;
       for (int r = 0; r < runs; ++r) {
         t0 += plain.Cluster(ds, k, seed + r).online_ms;
@@ -104,7 +226,24 @@ int main(int argc, char** argv) {
       }
       std::printf("%7.0f%% %10zu | %10.1fms %10.1fms %10.1fms\n",
                   frac * 100.0, ds.size(), t0 / runs, t1 / runs, t2 / runs);
+      json.BeginObject();
+      json.KV("fraction", frac);
+      json.KV("n", ds.size());
+      json.Key("online_ms");
+      json.BeginObject();
+      json.KV("bUK-means", t0 / runs);
+      json.KV("MinMax-BB", t1 / runs);
+      json.KV("VDBiP", t2 / runs);
+      json.EndObject();
+      json.EndObject();
     }
+    json.EndArray();
+  }
+  json.EndObject();
+  if (json.WriteFile(json_out)) {
+    std::printf("\n[wrote %s]\n", json_out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
   }
   std::printf("\nExpected shape (paper): all curves linear in n; MMVar "
               "scales best; UCPC tracks UK-means closely.\n");

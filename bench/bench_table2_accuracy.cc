@@ -29,6 +29,7 @@
 #include "common/csv.h"
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
+#include "engine/engine.h"
 #include "eval/protocol.h"
 
 namespace {
@@ -40,7 +41,7 @@ struct AlgoEntry {
   bool slow;  // quadratic-or-worse: runs on the subsampled dataset
 };
 
-std::vector<AlgoEntry> MakeAlgorithms() {
+std::vector<AlgoEntry> MakeAlgorithms(const engine::Engine& eng) {
   std::vector<AlgoEntry> out;
   out.push_back({std::make_unique<clustering::Fdbscan>(), true});
   out.push_back({std::make_unique<clustering::Foptics>(), true});
@@ -49,6 +50,7 @@ std::vector<AlgoEntry> MakeAlgorithms() {
   out.push_back({std::make_unique<clustering::Ukmeans>(), false});
   out.push_back({std::make_unique<clustering::Mmvar>(), false});
   out.push_back({std::make_unique<clustering::Ucpc>(), false});
+  for (auto& e : out) e.algo->set_engine(eng);
   return out;
 }
 
@@ -65,7 +67,8 @@ int main(int argc, char** argv) {
   const double umin = args.GetDouble("umin", 0.08);
   const double umax = args.GetDouble("umax", 0.40);
 
-  const auto algorithms = MakeAlgorithms();
+  const auto algorithms =
+      MakeAlgorithms(engine::Engine(engine::EngineConfigFromArgs(args)));
   const data::PdfFamily families[] = {data::PdfFamily::kUniform,
                                       data::PdfFamily::kNormal,
                                       data::PdfFamily::kExponential};

@@ -23,6 +23,7 @@
 #include "clustering/ukmedoids.h"
 #include "common/cli.h"
 #include "data/microarray_gen.h"
+#include "engine/engine.h"
 #include "eval/internal.h"
 
 namespace {
@@ -34,7 +35,7 @@ struct AlgoEntry {
   bool slow;
 };
 
-std::vector<AlgoEntry> MakeAlgorithms() {
+std::vector<AlgoEntry> MakeAlgorithms(const engine::Engine& eng) {
   std::vector<AlgoEntry> out;
   out.push_back({std::make_unique<clustering::Fdbscan>(), true});
   out.push_back({std::make_unique<clustering::Foptics>(), true});
@@ -43,6 +44,7 @@ std::vector<AlgoEntry> MakeAlgorithms() {
   out.push_back({std::make_unique<clustering::Ukmeans>(), false});
   out.push_back({std::make_unique<clustering::Mmvar>(), false});
   out.push_back({std::make_unique<clustering::Ucpc>(), false});
+  for (auto& e : out) e.algo->set_engine(eng);
   return out;
 }
 
@@ -56,7 +58,8 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(args.GetInt("runs", 2));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
 
-  const auto algorithms = MakeAlgorithms();
+  const auto algorithms =
+      MakeAlgorithms(engine::Engine(engine::EngineConfigFromArgs(args)));
   const int cluster_counts[] = {2, 3, 5, 10, 15, 20, 25, 30};
 
   std::printf("=== Table 3: internal quality Q on real (microarray-like) "

@@ -5,6 +5,7 @@
 // Figure 4 story.
 //
 //   $ ./algorithm_tour [--n=300] [--classes=4] [--family=normal]
+//                      [--threads=1] [--block_size=1024]
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "common/cli.h"
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
+#include "engine/engine.h"
 #include "eval/external.h"
 #include "eval/internal.h"
 
@@ -61,6 +63,10 @@ int main(int argc, char** argv) {
   algorithms.push_back(std::make_unique<clustering::Uahc>());
   algorithms.push_back(std::make_unique<clustering::Fdbscan>());
   algorithms.push_back(std::make_unique<clustering::Foptics>());
+  // One shared engine for the whole tour; --threads=N parallelizes every
+  // algorithm without changing any of the reported numbers except runtime.
+  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  for (auto& algo : algorithms) algo->set_engine(eng);
 
   const int runs = static_cast<int>(args.GetInt("runs", 5));
   std::printf("algorithm_tour: n=%zu m=%zu classes=%d family=%s runs=%d\n\n",

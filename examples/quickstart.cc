@@ -3,15 +3,18 @@
 //
 //   $ ./quickstart
 //
-// Walks through the three core concepts of the library:
+// Walks through the four core concepts of the library:
 //   1. an UncertainObject = per-dimension pdfs over a box region,
 //   2. the UCPC clusterer behind the shared Clusterer interface,
-//   3. expected distances and the closed-form objective.
+//   3. expected distances and the closed-form objective,
+//   4. the execution engine (thread count is a config knob; results are
+//      bit-identical for any number of threads).
 #include <cstdio>
 #include <vector>
 
 #include "clustering/ucpc.h"
 #include "data/dataset.h"
+#include "engine/engine.h"
 #include "uncertain/expected_distance.h"
 #include "uncertain/normal_pdf.h"
 #include "uncertain/uniform_pdf.h"
@@ -39,10 +42,15 @@ int main() {
     objects.emplace_back(std::move(dims));
   }
 
-  // Wrap them in a dataset (labels optional) and cluster with UCPC.
+  // Wrap them in a dataset (labels optional) and cluster with UCPC. The
+  // engine is optional — the default is serial — and changing num_threads
+  // never changes the labels or the objective.
   const uclust::data::UncertainDataset dataset("quickstart",
                                                std::move(objects), {}, 0);
-  const uclust::clustering::Ucpc ucpc;
+  uclust::engine::EngineConfig engine_config;
+  engine_config.num_threads = 0;  // 0 = all hardware threads
+  uclust::clustering::Ucpc ucpc;
+  ucpc.set_engine(uclust::engine::Engine(engine_config));
   const uclust::clustering::ClusteringResult result =
       ucpc.Cluster(dataset, /*k=*/2, /*seed=*/42);
 

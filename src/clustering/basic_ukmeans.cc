@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "clustering/init.h"
+#include "clustering/kernels.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
+#include "engine/parallel_for.h"
 #include "uncertain/sample_cache.h"
 
 namespace uclust::clustering {
@@ -36,13 +38,14 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
   const std::size_t m = data.dims();
   assert(k >= 1 && n >= static_cast<std::size_t>(k));
   common::Rng rng(seed);
+  const engine::Engine& eng = engine();
 
   // Offline phase: draw the per-object sample sets (the numeric stand-in for
   // the pdfs) and collect the regions. Excluded from the online time, as in
   // the paper's efficiency protocol.
   common::Stopwatch offline;
   const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed);
+                                     params_.sample_seed, eng);
   const uncertain::MomentMatrix& mm = data.moments();
   const double offline_ms = offline.ElapsedMs();
 
@@ -72,10 +75,20 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
   }
   std::vector<double> prev_centroids;
 
-  std::vector<int> candidates;
-  std::vector<EdBounds> bounds(k);
-  std::vector<double> sums(static_cast<std::size_t>(k) * m);
-  std::vector<std::size_t> counts(k);
+  // Per-object scratch of the assignment sweep, one copy per engine lane.
+  struct Scratch {
+    std::vector<int> candidates;
+    std::vector<EdBounds> bounds;
+  };
+  engine::PerWorker<Scratch> scratch(
+      eng, Scratch{{}, std::vector<EdBounds>(k)});
+  struct BlockStats {
+    std::size_t changed = 0;
+    int64_t ed_evaluations = 0;
+  };
+
+  std::vector<double> sums;
+  std::vector<std::size_t> counts;
 
   for (result.iterations = 0; result.iterations < params_.max_iters;
        ++result.iterations) {
@@ -89,76 +102,83 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
       }
     }
 
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const uncertain::Box& box = data.object(i).region();
-      candidates.clear();
+    // Assignment sweep over object blocks. Rows of the cluster-shift cache
+    // are per-object, so blocks write disjoint state; labels and counters
+    // are combined in block order, keeping the outcome independent of the
+    // engine thread count.
+    const std::vector<BlockStats> per_block =
+        engine::MapBlocks<BlockStats>(eng, n, [&](const engine::BlockedRange&
+                                                      range) {
+          BlockStats bs;
+          Scratch& sc = scratch.local();
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            const uncertain::Box& box = data.object(i).region();
+            sc.candidates.clear();
 
-      if (params_.pruning == PruningStrategy::kNone) {
-        for (int c = 0; c < k; ++c) candidates.push_back(c);
-      } else {
-        // Bounds per centroid: MBR bounds, refined by cluster shift.
-        double min_ub = std::numeric_limits<double>::infinity();
-        for (int c = 0; c < k; ++c) {
-          EdBounds b = MinMaxBounds(box, centroid(c));
-          if (use_shift) {
-            const std::size_t idx = i * static_cast<std::size_t>(k) +
-                                    static_cast<std::size_t>(c);
-            if (stored_ed[idx] >= 0.0) {
-              b = TightestOf(
-                  b, ShiftBounds(stored_ed[idx],
-                                 travel[c] - stored_travel[idx]));
+            if (params_.pruning == PruningStrategy::kNone) {
+              for (int c = 0; c < k; ++c) sc.candidates.push_back(c);
+            } else {
+              // Bounds per centroid: MBR bounds, refined by cluster shift.
+              double min_ub = std::numeric_limits<double>::infinity();
+              for (int c = 0; c < k; ++c) {
+                EdBounds b = MinMaxBounds(box, centroid(c));
+                if (use_shift) {
+                  const std::size_t idx = i * static_cast<std::size_t>(k) +
+                                          static_cast<std::size_t>(c);
+                  if (stored_ed[idx] >= 0.0) {
+                    b = TightestOf(
+                        b, ShiftBounds(stored_ed[idx],
+                                       travel[c] - stored_travel[idx]));
+                  }
+                }
+                sc.bounds[c] = b;
+                min_ub = std::min(min_ub, b.ub);
+              }
+              for (int c = 0; c < k; ++c) {
+                if (sc.bounds[c].lb <= min_ub) sc.candidates.push_back(c);
+              }
+              if (params_.pruning == PruningStrategy::kVoronoi &&
+                  sc.candidates.size() > 1) {
+                VoronoiFilter(box, centroids, m, &sc.candidates);
+              }
+            }
+
+            int best = sc.candidates.front();
+            if (sc.candidates.size() > 1) {
+              double best_ed = std::numeric_limits<double>::infinity();
+              for (int c : sc.candidates) {
+                const double ed =
+                    cache.ExpectedSquaredDistanceToPoint(i, centroid(c));
+                ++bs.ed_evaluations;
+                if (use_shift) {
+                  const std::size_t idx = i * static_cast<std::size_t>(k) +
+                                          static_cast<std::size_t>(c);
+                  stored_ed[idx] = ed;
+                  stored_travel[idx] = travel[c];
+                }
+                if (ed < best_ed) {
+                  best_ed = ed;
+                  best = c;
+                }
+              }
+            }
+            if (best != result.labels[i]) {
+              result.labels[i] = best;
+              ++bs.changed;
             }
           }
-          bounds[c] = b;
-          min_ub = std::min(min_ub, b.ub);
-        }
-        for (int c = 0; c < k; ++c) {
-          if (bounds[c].lb <= min_ub) candidates.push_back(c);
-        }
-        if (params_.pruning == PruningStrategy::kVoronoi &&
-            candidates.size() > 1) {
-          VoronoiFilter(box, centroids, m, &candidates);
-        }
-      }
-
-      int best = candidates.front();
-      if (candidates.size() > 1) {
-        double best_ed = std::numeric_limits<double>::infinity();
-        for (int c : candidates) {
-          const double ed =
-              cache.ExpectedSquaredDistanceToPoint(i, centroid(c));
-          ++result.ed_evaluations;
-          if (use_shift) {
-            const std::size_t idx = i * static_cast<std::size_t>(k) +
-                                    static_cast<std::size_t>(c);
-            stored_ed[idx] = ed;
-            stored_travel[idx] = travel[c];
-          }
-          if (ed < best_ed) {
-            best_ed = ed;
-            best = c;
-          }
-        }
-      }
-      if (best != result.labels[i]) {
-        result.labels[i] = best;
-        changed = true;
-      }
+          return bs;
+        });
+    std::size_t changed = 0;
+    for (const BlockStats& bs : per_block) {
+      changed += bs.changed;
+      result.ed_evaluations += bs.ed_evaluations;
     }
-    if (!changed) break;
+    if (changed == 0) break;
 
     // Centroid update (Eq. 7), identical to the fast UK-means.
     if (use_shift) prev_centroids = centroids;
-    std::fill(sums.begin(), sums.end(), 0.0);
-    std::fill(counts.begin(), counts.end(), std::size_t{0});
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto mean = mm.mean(i);
-      double* dst =
-          sums.data() + static_cast<std::size_t>(result.labels[i]) * m;
-      for (std::size_t j = 0; j < m; ++j) dst[j] += mean[j];
-      ++counts[result.labels[i]];
-    }
+    kernels::SumMeansByLabel(eng, mm, result.labels, k, &sums, &counts);
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         const auto mean = mm.mean(rng.Index(n));
@@ -176,12 +196,8 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
 
   // Reported objective uses the closed form (Eq. 8) — exact and free, so the
   // pruning effort is not polluted by reporting-only ED integrations.
-  result.objective = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    result.objective +=
-        mm.total_variance(i) +
-        common::SquaredDistance(mm.mean(i), centroid(result.labels[i]));
-  }
+  result.objective =
+      kernels::AssignmentObjective(eng, mm, result.labels, centroids);
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;
   result.clusters_found = CountClusters(result.labels);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "engine/engine.h"
 
 namespace uclust::clustering {
 
@@ -51,6 +52,15 @@ class Clusterer {
   /// choice so runs are reproducible.
   virtual ClusteringResult Cluster(const data::UncertainDataset& data, int k,
                                    uint64_t seed) const = 0;
+
+  /// Installs the execution engine used by the compute kernels (serial by
+  /// default). Results are bit-identical for any engine thread count.
+  void set_engine(const engine::Engine& eng) { engine_ = eng; }
+  /// The engine the algorithm dispatches its compute through.
+  const engine::Engine& engine() const { return engine_; }
+
+ private:
+  engine::Engine engine_;
 };
 
 /// Number of distinct non-negative labels.

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <queue>
 
+#include "clustering/kernels.h"
 #include "common/stopwatch.h"
+#include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
 #include "uncertain/sample_cache.h"
 
@@ -15,29 +17,36 @@ namespace {
 
 // Median MinPts-nearest-neighbor distance over (a subsample of) the objects,
 // using sqrt of the closed-form expected distance as the proximity proxy.
+// The probes are drawn serially; each probe's scan is independent, so the
+// sweep parallelizes over probe blocks without changing the outcome.
 double AutoEps(const data::UncertainDataset& data, int min_pts,
-               common::Rng* rng) {
+               common::Rng* rng, const engine::Engine& eng) {
   const std::size_t n = data.size();
+  if (n < 2) return 0.0;  // no neighbor distances to rank
   const std::size_t probe_count = std::min<std::size_t>(n, 256);
   std::vector<std::size_t> probes =
       rng->SampleWithoutReplacement(n, probe_count);
-  std::vector<double> kth;
-  kth.reserve(probe_count);
-  std::vector<double> dists;
-  for (std::size_t i : probes) {
-    dists.clear();
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      dists.push_back(std::sqrt(
-          uncertain::ExpectedSquaredDistance(data.object(i), data.object(j))));
+  std::vector<double> kth(probe_count, 0.0);
+  engine::ParallelFor(eng, probe_count, [&](const engine::BlockedRange& r) {
+    std::vector<double> dists;
+    dists.reserve(n - 1);
+    for (std::size_t p = r.begin; p < r.end; ++p) {
+      const std::size_t i = probes[p];
+      dists.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        dists.push_back(std::sqrt(uncertain::ExpectedSquaredDistance(
+            data.object(i), data.object(j))));
+      }
+      // Clamp into [1, |dists|] so min_pts = 0 cannot wrap the rank.
+      const std::size_t rank = std::min<std::size_t>(
+          std::max<std::size_t>(static_cast<std::size_t>(min_pts), 1),
+          dists.size());
+      std::nth_element(dists.begin(), dists.begin() + (rank - 1),
+                       dists.end());
+      kth[p] = dists[rank - 1];
     }
-    const std::size_t rank =
-        std::min<std::size_t>(static_cast<std::size_t>(min_pts),
-                              dists.size()) -
-        1;
-    std::nth_element(dists.begin(), dists.begin() + rank, dists.end());
-    kth.push_back(dists[rank]);
-  }
+  });
   std::nth_element(kth.begin(), kth.begin() + kth.size() / 2, kth.end());
   return kth[kth.size() / 2];
 }
@@ -70,6 +79,7 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
                                   int /*k*/, uint64_t seed) const {
   const std::size_t n = data.size();
   common::Rng rng(seed);
+  const engine::Engine& eng = engine();
 
   ClusteringResult result;
   result.k_requested = 0;
@@ -77,36 +87,39 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
   // Offline: sample cache (the fuzzy-distance machinery's numeric basis).
   common::Stopwatch offline;
   const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed);
+                                     params_.sample_seed, eng);
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  const double eps =
-      params_.eps > 0.0 ? params_.eps : AutoEps(data, params_.min_pts, &rng);
+  const double eps = params_.eps > 0.0
+                         ? params_.eps
+                         : AutoEps(data, params_.min_pts, &rng, eng);
 
-  // Pairwise distance probabilities (sparse adjacency of positive entries).
+  // Pairwise distance probabilities: upper-triangle rows computed in
+  // parallel, then mirrored serially into the sparse adjacency.
+  std::vector<std::vector<std::pair<std::size_t, double>>> upper;
+  result.ed_evaluations +=
+      kernels::DistanceProbabilityRows(eng, cache, eps, &upper);
   std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double p = cache.DistanceProbability(i, j, eps);
-      ++result.ed_evaluations;
-      if (p > 0.0) {
-        adj[i].emplace_back(j, p);
-        adj[j].emplace_back(i, p);
-      }
+    for (const auto& [j, p] : upper[i]) {
+      adj[i].emplace_back(j, p);
+      adj[j].emplace_back(i, p);
     }
   }
 
   // Core-object probabilities via the Poisson-binomial tail.
-  std::vector<bool> core(n, false);
-  std::vector<double> probs;
-  for (std::size_t i = 0; i < n; ++i) {
-    probs.clear();
-    probs.reserve(adj[i].size());
-    for (const auto& [j, p] : adj[i]) probs.push_back(p);
-    core[i] =
-        AtLeastProbability(probs, params_.min_pts) >= params_.core_threshold;
-  }
+  std::vector<char> core(n, 0);
+  engine::ParallelFor(eng, n, [&](const engine::BlockedRange& r) {
+    std::vector<double> probs;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      probs.clear();
+      probs.reserve(adj[i].size());
+      for (const auto& [j, p] : adj[i]) probs.push_back(p);
+      core[i] = AtLeastProbability(probs, params_.min_pts) >=
+                params_.core_threshold;
+    }
+  });
 
   // Expansion: BFS over reachability edges seeded at unvisited core objects.
   result.labels.assign(n, -1);

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include "clustering/kernels.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
+#include "engine/parallel_for.h"
 #include "uncertain/sample_cache.h"
 
 namespace uclust::clustering {
@@ -38,36 +40,27 @@ std::vector<int> Foptics::ExtractAtThreshold(
 ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
                                   uint64_t /*seed*/) const {
   const std::size_t n = data.size();
+  const engine::Engine& eng = engine();
   ClusteringResult result;
   result.k_requested = k;
 
   // Offline: sample cache + pairwise fuzzy distance table.
   common::Stopwatch offline;
   const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed);
-  std::vector<double> dist(n * n, 0.0);
-  const int s_count = cache.samples_per_object();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double acc = 0.0;
-      for (int s = 0; s < s_count; ++s) {
-        acc += common::SquaredDistance(cache.SampleOf(i, s),
-                                       cache.SampleOf(j, s));
-      }
-      const double d = std::sqrt(acc / s_count);
-      dist[i * n + j] = d;
-      dist[j * n + i] = d;
-      ++result.ed_evaluations;
-    }
-  }
+                                     params_.sample_seed, eng);
+  std::vector<double> dist;
+  result.ed_evaluations +=
+      kernels::PairwiseSampleED(eng, cache, /*take_sqrt=*/true, &dist);
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  // Core distances: MinPts-th smallest distance to another object.
+  // Core distances: MinPts-th smallest distance to another object
+  // (independent per object; parallel over object blocks).
   std::vector<double> core_dist(n, kUndefined);
-  {
+  engine::ParallelFor(eng, n, [&](const engine::BlockedRange& r) {
     std::vector<double> row;
-    for (std::size_t i = 0; i < n; ++i) {
+    row.reserve(n > 0 ? n - 1 : 0);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
       row.clear();
       for (std::size_t j = 0; j < n; ++j) {
         if (j != i) row.push_back(dist[i * n + j]);
@@ -78,7 +71,7 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
       std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
       core_dist[i] = row[rank - 1];
     }
-  }
+  });
 
   // OPTICS walk (eps = infinity: one complete ordering).
   std::vector<double> reach(n, kUndefined);
@@ -116,7 +109,9 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   // Flat extraction: choose the cut whose cluster count is closest to k,
   // preferring (at equal cluster-count gap) the cut leaving less noise.
   // Candidate thresholds are quantiles of the finite reachability and core
-  // distances — the values at which the plot's structure changes.
+  // distances — the values at which the plot's structure changes. Each
+  // probe is scored independently (parallel); the winner is selected in
+  // probe order, so the cut is independent of the thread count.
   std::vector<double> candidates;
   for (std::size_t i = 0; i < n; ++i) {
     if (core_dist[i] != kUndefined) candidates.push_back(core_dist[i]);
@@ -125,27 +120,42 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  std::vector<int> best_labels;
+  const std::size_t probes = std::min<std::size_t>(candidates.size(), 128);
+  struct ProbeScore {
+    int found = 0;
+    int noise = 0;
+    double threshold = 0.0;
+  };
+  std::vector<ProbeScore> scores(probes);
+  engine::ParallelForBlocked(
+      eng, probes, 8, [&](const engine::BlockedRange& r) {
+        for (std::size_t p = r.begin; p < r.end; ++p) {
+          const std::size_t idx = p * (candidates.size() - 1) /
+                                  std::max<std::size_t>(probes - 1, 1);
+          scores[p].threshold = candidates[idx];
+          const std::vector<int> labels =
+              ExtractAtThreshold(reach, core_dist, order, scores[p].threshold);
+          scores[p].found = CountClusters(labels);
+          for (int l : labels) scores[p].noise += l < 0 ? 1 : 0;
+        }
+      });
+  std::size_t best_probe = probes;
   int best_gap = std::numeric_limits<int>::max();
   int best_noise = std::numeric_limits<int>::max();
-  const std::size_t probes = std::min<std::size_t>(candidates.size(), 128);
   for (std::size_t p = 0; p < probes; ++p) {
-    const std::size_t idx =
-        p * (candidates.size() - 1) / std::max<std::size_t>(probes - 1, 1);
-    const std::vector<int> labels =
-        ExtractAtThreshold(reach, core_dist, order, candidates[idx]);
-    const int found = CountClusters(labels);
-    if (found == 0) continue;
-    int noise = 0;
-    for (int l : labels) noise += l < 0 ? 1 : 0;
-    const int gap = std::abs(found - k);
-    if (gap < best_gap || (gap == best_gap && noise < best_noise)) {
+    if (scores[p].found == 0) continue;
+    const int gap = std::abs(scores[p].found - k);
+    if (gap < best_gap || (gap == best_gap && scores[p].noise < best_noise)) {
       best_gap = gap;
-      best_noise = noise;
-      best_labels = labels;
+      best_noise = scores[p].noise;
+      best_probe = p;
     }
   }
-  if (best_labels.empty()) {
+  std::vector<int> best_labels;
+  if (best_probe < probes) {
+    best_labels = ExtractAtThreshold(reach, core_dist, order,
+                                     scores[best_probe].threshold);
+  } else {
     best_labels.assign(n, 0);  // degenerate data: one cluster
   }
 

@@ -1,0 +1,197 @@
+#include "clustering/kernels.h"
+
+#include <limits>
+
+#include "common/math_utils.h"
+#include "uncertain/expected_distance.h"
+
+namespace uclust::clustering::kernels {
+
+namespace {
+
+// Row-block size for the triangular pairwise kernels. Row i costs O(n - i),
+// so the linear-sweep block size would dump nearly all work into the first
+// block; many small row-blocks let the pool's dynamic task counter balance
+// the skew. Per-pair results are computed independently (and counters are
+// integers), so the block partition never affects the values produced.
+std::size_t TriangularRowBlock(const engine::Engine& eng, std::size_t n) {
+  const std::size_t lanes = static_cast<std::size_t>(eng.num_threads());
+  const std::size_t block = n / (lanes * 8) + 1;
+  return block < eng.block_size() ? block : eng.block_size();
+}
+
+}  // namespace
+
+int NearestCentroid(std::span<const double> point,
+                    std::span<const double> centroids, int k, std::size_t m) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < k; ++c) {
+    const double d = common::SquaredDistance(
+        point, centroids.subspan(static_cast<std::size_t>(c) * m, m));
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t AssignNearest(const engine::Engine& eng,
+                          const uncertain::MomentMatrix& mm,
+                          std::span<const double> centroids, int k,
+                          std::span<int> labels) {
+  const std::size_t m = mm.dims();
+  const std::vector<std::size_t> changed_per_block =
+      engine::MapBlocks<std::size_t>(
+          eng, mm.size(), [&](const engine::BlockedRange& r) {
+            std::size_t changed = 0;
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+              const int best = NearestCentroid(mm.mean(i), centroids, k, m);
+              if (best != labels[i]) {
+                labels[i] = best;
+                ++changed;
+              }
+            }
+            return changed;
+          });
+  std::size_t total = 0;
+  for (std::size_t c : changed_per_block) total += c;
+  return total;
+}
+
+void SumMeansByLabel(const engine::Engine& eng,
+                     const uncertain::MomentMatrix& mm,
+                     std::span<const int> labels, int k,
+                     std::vector<double>* sums,
+                     std::vector<std::size_t>* counts) {
+  const std::size_t m = mm.dims();
+  const std::size_t km = static_cast<std::size_t>(k) * m;
+  struct Partial {
+    std::vector<double> sums;
+    std::vector<std::size_t> counts;
+  };
+  std::vector<Partial> partials = engine::MapBlocks<Partial>(
+      eng, mm.size(), [&](const engine::BlockedRange& r) {
+        Partial p{std::vector<double>(km, 0.0),
+                  std::vector<std::size_t>(k, 0)};
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const auto mean = mm.mean(i);
+          double* dst =
+              p.sums.data() + static_cast<std::size_t>(labels[i]) * m;
+          for (std::size_t j = 0; j < m; ++j) dst[j] += mean[j];
+          ++p.counts[labels[i]];
+        }
+        return p;
+      });
+  sums->assign(km, 0.0);
+  counts->assign(k, 0);
+  // Combine in block order: the floating-point result is a function of the
+  // block partition only, not of the thread count.
+  for (const Partial& p : partials) {
+    for (std::size_t j = 0; j < km; ++j) (*sums)[j] += p.sums[j];
+    for (int c = 0; c < k; ++c) (*counts)[c] += p.counts[c];
+  }
+}
+
+double AssignmentObjective(const engine::Engine& eng,
+                           const uncertain::MomentMatrix& mm,
+                           std::span<const int> labels,
+                           std::span<const double> centroids) {
+  const std::size_t m = mm.dims();
+  const std::vector<double> partials = engine::MapBlocks<double>(
+      eng, mm.size(), [&](const engine::BlockedRange& r) {
+        double acc = 0.0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const std::size_t c = static_cast<std::size_t>(labels[i]);
+          acc += mm.total_variance(i) +
+                 common::SquaredDistance(mm.mean(i),
+                                         centroids.subspan(c * m, m));
+        }
+        return acc;
+      });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+void PairwiseClosedFormED(const engine::Engine& eng,
+                          std::span<const uncertain::UncertainObject> objects,
+                          std::vector<double>* dist) {
+  const std::size_t n = objects.size();
+  dist->assign(n * n, 0.0);
+  double* d = dist->data();
+  // Block owns rows [begin, end): entries (i, j) and (j, i) for j > i are
+  // written by the block owning i, so blocks never write the same cell.
+  engine::ParallelForBlocked(
+      eng, n, TriangularRowBlock(eng, n), [&](const engine::BlockedRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double ed =
+            uncertain::ExpectedSquaredDistance(objects[i], objects[j]);
+        d[i * n + j] = ed;
+        d[j * n + i] = ed;
+      }
+    }
+  });
+}
+
+int64_t PairwiseSampleED(const engine::Engine& eng,
+                         const uncertain::SampleCache& cache, bool take_sqrt,
+                         std::vector<double>* dist) {
+  const std::size_t n = cache.size();
+  const int s_count = cache.samples_per_object();
+  dist->assign(n * n, 0.0);
+  double* d = dist->data();
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, n, TriangularRowBlock(eng, n),
+          [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            double acc = 0.0;
+            for (int s = 0; s < s_count; ++s) {
+              acc += common::SquaredDistance(cache.SampleOf(i, s),
+                                             cache.SampleOf(j, s));
+            }
+            double ed = acc / s_count;
+            if (take_sqrt) ed = std::sqrt(ed);
+            d[i * n + j] = ed;
+            d[j * n + i] = ed;
+            ++evals;
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
+int64_t DistanceProbabilityRows(
+    const engine::Engine& eng, const uncertain::SampleCache& cache, double eps,
+    std::vector<std::vector<std::pair<std::size_t, double>>>* rows) {
+  const std::size_t n = cache.size();
+  rows->assign(n, {});
+  auto* out = rows->data();
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, n, TriangularRowBlock(eng, n),
+          [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const double p = cache.DistanceProbability(i, j, eps);
+            ++evals;
+            if (p > 0.0) out[i].emplace_back(j, p);
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
+}  // namespace uclust::clustering::kernels

@@ -1,0 +1,75 @@
+// Shared blocked compute kernels of the clustering stack.
+//
+// The nearest-centroid / expected-distance inner loops used to be duplicated
+// across ukmeans.cc, basic_ukmeans.cc, and pruning call sites; they live
+// here once, formulated over MomentMatrix / SampleCache blocks and
+// dispatched through the execution engine. Every kernel is bit-identical
+// for any Engine thread count (fixed block partition + ordered reduction;
+// see engine/parallel_for.h).
+#ifndef UCLUST_CLUSTERING_KERNELS_H_
+#define UCLUST_CLUSTERING_KERNELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/parallel_for.h"
+#include "uncertain/moments.h"
+#include "uncertain/sample_cache.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::clustering::kernels {
+
+/// Index of the centroid (flat k x m array) nearest to `point` by squared
+/// Euclidean distance; ties break toward the lower index.
+int NearestCentroid(std::span<const double> point,
+                    std::span<const double> centroids, int k, std::size_t m);
+
+/// Assigns every object's expected value to its nearest centroid (the
+/// UK-means assignment step, Eq. 8). Writes labels[i] and returns the number
+/// of labels that changed.
+std::size_t AssignNearest(const engine::Engine& eng,
+                          const uncertain::MomentMatrix& mm,
+                          std::span<const double> centroids, int k,
+                          std::span<int> labels);
+
+/// Accumulates per-cluster sums of member means and member counts
+/// (the centroid-update numerators of Eq. 7). sums is resized to k*m and
+/// counts to k. Deterministic for any thread count.
+void SumMeansByLabel(const engine::Engine& eng,
+                     const uncertain::MomentMatrix& mm,
+                     std::span<const int> labels, int k,
+                     std::vector<double>* sums,
+                     std::vector<std::size_t>* counts);
+
+/// Closed-form UK-means objective of a labeling:
+/// sum_i [ sigma^2(o_i) + ||mu(o_i) - c_{label(i)}||^2 ].
+double AssignmentObjective(const engine::Engine& eng,
+                           const uncertain::MomentMatrix& mm,
+                           std::span<const int> labels,
+                           std::span<const double> centroids);
+
+/// Fills the symmetric n x n expected-squared-distance table from the
+/// closed form (Lemma 3). dist is resized to n*n.
+void PairwiseClosedFormED(const engine::Engine& eng,
+                          std::span<const uncertain::UncertainObject> objects,
+                          std::vector<double>* dist);
+
+/// Fills the symmetric n x n table of matched-pair sample estimates of the
+/// expected squared distance (take_sqrt = false) or its square root
+/// (take_sqrt = true, the FOPTICS fuzzy distance). Returns the number of
+/// sample-integrated evaluations performed (the upper triangle).
+int64_t PairwiseSampleED(const engine::Engine& eng,
+                         const uncertain::SampleCache& cache, bool take_sqrt,
+                         std::vector<double>* dist);
+
+/// Upper-triangle distance-probability rows: rows[i] holds (j, p) for every
+/// j > i with p = Pr[dist(o_i, o_j) <= eps] > 0 (FDBSCAN edge weights).
+/// Returns the number of probability evaluations (n*(n-1)/2).
+int64_t DistanceProbabilityRows(
+    const engine::Engine& eng, const uncertain::SampleCache& cache, double eps,
+    std::vector<std::vector<std::pair<std::size_t, double>>>* rows);
+
+}  // namespace uclust::clustering::kernels
+
+#endif  // UCLUST_CLUSTERING_KERNELS_H_

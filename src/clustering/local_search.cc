@@ -4,24 +4,26 @@
 #include <cmath>
 
 #include "clustering/init.h"
+#include "engine/parallel_for.h"
 
 namespace uclust::clustering {
 
 LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
                                   int k, const LocalSearchParams& params,
-                                  common::Rng* rng) {
+                                  common::Rng* rng,
+                                  const engine::Engine& eng) {
   std::vector<int> initial =
       params.init == InitStrategy::kPlusPlus
           ? PartitionFromSeeds(moments, PlusPlusObjects(moments, k, rng))
           : RandomPartition(moments.size(), k, rng);
-  return RunLocalSearchFrom(moments, k, params, std::move(initial));
+  return RunLocalSearchFrom(moments, k, params, std::move(initial), eng);
 }
 
 LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
                                       int k, const LocalSearchParams& params,
-                                      std::vector<int> initial_labels) {
+                                      std::vector<int> initial_labels,
+                                      const engine::Engine& eng) {
   const std::size_t n = moments.size();
-  const std::size_t m = moments.dims();
   assert(k >= 1 && n >= static_cast<std::size_t>(k));
   assert(initial_labels.size() == n);
 
@@ -29,7 +31,7 @@ LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
   out.labels = std::move(initial_labels);
 
   // Line 3 of Algorithm 1: per-cluster aggregates and cached objectives.
-  std::vector<ClusterMoments> stats(k, ClusterMoments(m));
+  std::vector<ClusterMoments> stats(k, ClusterMoments(moments.dims()));
   for (std::size_t i = 0; i < n; ++i) {
     assert(out.labels[i] >= 0 && out.labels[i] < k);
     stats[out.labels[i]].Add(moments, i);
@@ -41,38 +43,64 @@ LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
     total += obj[c];
   }
 
-  // Lines 4-16: relocation passes.
+  // Lines 4-16: relocation passes, restructured for parallel gain
+  // evaluation. Phase 1 proposes every object's best move against the
+  // aggregates frozen at pass start (embarrassingly parallel, O(n k m));
+  // phase 2 applies proposals serially in object index order, revalidating
+  // each move against the live aggregates so the objective stays monotone.
+  // At a fixed point no move is applied, hence the aggregates never drifted
+  // during the pass and the proposals prove one-move optimality — the same
+  // termination guarantee as the sequential Algorithm 1 (Proposition 4).
+  std::vector<int> proposal(n);
   for (out.passes = 0; out.passes < params.max_passes; ++out.passes) {
-    bool moved = false;
     const double tolerance =
         params.min_relative_gain * (1.0 + std::fabs(total));
+
+    engine::ParallelFor(eng, n, [&](const engine::BlockedRange& r) {
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const int source = out.labels[i];
+        proposal[i] = source;
+        if (stats[source].size() <= 1) continue;  // keep exactly k clusters
+        const double source_after =
+            ObjectiveAfterRemove(params.objective, stats[source], moments, i);
+        // Line 8: best target by total-objective change.
+        int best = source;
+        double best_delta = -tolerance;
+        for (int c = 0; c < k; ++c) {
+          if (c == source) continue;
+          const double target_after =
+              ObjectiveAfterAdd(params.objective, stats[c], moments, i);
+          const double delta =
+              (source_after + target_after) - (obj[source] + obj[c]);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best = c;
+          }
+        }
+        proposal[i] = best;
+      }
+    });
+
+    bool moved = false;
     for (std::size_t i = 0; i < n; ++i) {
+      const int best = proposal[i];
       const int source = out.labels[i];
-      if (stats[source].size() <= 1) continue;  // keep exactly k clusters
+      if (best == source) continue;
+      if (stats[source].size() <= 1) continue;
       const double source_after =
           ObjectiveAfterRemove(params.objective, stats[source], moments, i);
-      // Line 8: best target by total-objective change.
-      int best = source;
-      double best_delta = -tolerance;
-      for (int c = 0; c < k; ++c) {
-        if (c == source) continue;
-        const double target_after =
-            ObjectiveAfterAdd(params.objective, stats[c], moments, i);
-        const double delta =
-            (source_after + target_after) - (obj[source] + obj[c]);
-        if (delta < best_delta) {
-          best_delta = delta;
-          best = c;
-        }
-      }
-      if (best == source) continue;
+      const double target_after =
+          ObjectiveAfterAdd(params.objective, stats[best], moments, i);
+      const double delta =
+          (source_after + target_after) - (obj[source] + obj[best]);
+      if (delta >= -tolerance) continue;
       // Lines 10-13: apply the move and refresh the affected aggregates.
       stats[source].Remove(moments, i);
       stats[best].Add(moments, i);
       out.labels[i] = best;
       obj[source] = Objective(params.objective, stats[source]);
       obj[best] = Objective(params.objective, stats[best]);
-      total += best_delta;
+      total += delta;
       ++out.moves;
       moved = true;
     }

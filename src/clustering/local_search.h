@@ -11,6 +11,7 @@
 #include "clustering/cluster_stats.h"
 #include "clustering/init.h"
 #include "common/rng.h"
+#include "engine/engine.h"
 #include "uncertain/moments.h"
 
 namespace uclust::clustering {
@@ -39,15 +40,26 @@ struct LocalSearchOutcome {
 /// Runs Algorithm 1 from a random initial partition. Requires n >= k >= 1.
 /// Clusters never become empty (a relocation that would empty its source
 /// cluster is skipped), so exactly k clusters are returned.
+///
+/// Each pass proposes the best move of every object in parallel against the
+/// pass-start aggregates, then applies the proposals serially in object
+/// order, revalidating each against the current aggregates (first-improving-
+/// move tie-breaking). Proposals depend only on the pass-start state and the
+/// application order is fixed, so labels, objective, and pass counts are
+/// bit-identical for any engine thread count.
 LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
                                   int k, const LocalSearchParams& params,
-                                  common::Rng* rng);
+                                  common::Rng* rng,
+                                  const engine::Engine& eng =
+                                      engine::Engine::Serial());
 
 /// Same as RunLocalSearch but starting from a caller-provided partition
 /// (labels in [0, k), every cluster non-empty).
 LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
                                       int k, const LocalSearchParams& params,
-                                      std::vector<int> initial_labels);
+                                      std::vector<int> initial_labels,
+                                      const engine::Engine& eng =
+                                          engine::Engine::Serial());
 
 }  // namespace uclust::clustering
 

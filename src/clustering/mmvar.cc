@@ -6,13 +6,14 @@ namespace uclust::clustering {
 
 LocalSearchOutcome Mmvar::RunOnMoments(const uncertain::MomentMatrix& mm,
                                        int k, uint64_t seed,
-                                       const Params& params) {
+                                       const Params& params,
+                                       const engine::Engine& eng) {
   common::Rng rng(seed);
   LocalSearchParams ls;
   ls.objective = ObjectiveKind::kMmvar;
   ls.max_passes = params.max_passes;
   ls.init = params.init;
-  return RunLocalSearch(mm, k, ls, &rng);
+  return RunLocalSearch(mm, k, ls, &rng, eng);
 }
 
 ClusteringResult Mmvar::Cluster(const data::UncertainDataset& data, int k,
@@ -22,7 +23,7 @@ ClusteringResult Mmvar::Cluster(const data::UncertainDataset& data, int k,
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_);
+  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_, engine());
   ClusteringResult result;
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;

@@ -27,10 +27,13 @@ class Mmvar final : public Clusterer {
   ClusteringResult Cluster(const data::UncertainDataset& data, int k,
                            uint64_t seed) const override;
 
-  /// Kernel entry point for pre-packed moment statistics.
+  /// Kernel entry point for pre-packed moment statistics. Results are
+  /// bit-identical for any engine thread count.
   static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
                                          int k, uint64_t seed,
-                                         const Params& params);
+                                         const Params& params,
+                                         const engine::Engine& eng =
+                                             engine::Engine::Serial());
   /// Kernel entry point with default parameters.
   static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
                                          int k, uint64_t seed) {

@@ -61,10 +61,27 @@ common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
   return common::Status::NotFound("unknown clusterer: " + std::string(name));
 }
 
+common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
+    std::string_view name, const engine::Engine& eng) {
+  auto result = MakeClusterer(name);
+  if (result.ok()) result.ValueOrDie()->set_engine(eng);
+  return result;
+}
+
 std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers() {
   std::vector<std::unique_ptr<Clusterer>> out;
   for (const std::string& name : RegisteredClusterers()) {
     out.push_back(std::move(MakeClusterer(name)).ValueOrDie());
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers(
+    const engine::EngineConfig& config) {
+  const engine::Engine eng(config);
+  std::vector<std::unique_ptr<Clusterer>> out;
+  for (const std::string& name : RegisteredClusterers()) {
+    out.push_back(std::move(MakeClusterer(name, eng)).ValueOrDie());
   }
   return out;
 }

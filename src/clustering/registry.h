@@ -25,8 +25,19 @@ std::vector<std::string> RegisteredClusterers();
 common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
     std::string_view name);
 
+/// Creates an algorithm by name and installs `eng` as its execution engine.
+/// Pass copies of one Engine to run a whole fleet of algorithms on a single
+/// shared thread pool.
+common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
+    std::string_view name, const engine::Engine& eng);
+
 /// Creates one instance of every registered algorithm.
 std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers();
+
+/// Creates one instance of every registered algorithm, all sharing one
+/// engine built from `config`.
+std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers(
+    const engine::EngineConfig& config);
 
 }  // namespace uclust::clustering
 

@@ -6,8 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "clustering/kernels.h"
 #include "common/stopwatch.h"
-#include "uncertain/expected_distance.h"
 
 namespace uclust::clustering {
 
@@ -18,17 +18,11 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   ClusteringResult result;
   result.k_requested = k;
 
-  // Offline: pairwise ED^ table (closed form, Lemma 3).
+  // Offline: pairwise ED^ table (closed form, Lemma 3), computed in
+  // parallel over row blocks through the shared kernel.
   common::Stopwatch offline;
-  std::vector<double> dist(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d =
-          uncertain::ExpectedSquaredDistance(data.object(i), data.object(j));
-      dist[i * n + j] = d;
-      dist[j * n + i] = d;
-    }
-  }
+  std::vector<double> dist;
+  kernels::PairwiseClosedFormED(engine(), data.objects(), &dist);
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;

@@ -6,13 +6,14 @@ namespace uclust::clustering {
 
 LocalSearchOutcome Ucpc::RunOnMoments(const uncertain::MomentMatrix& mm,
                                       int k, uint64_t seed,
-                                      const Params& params) {
+                                      const Params& params,
+                                      const engine::Engine& eng) {
   common::Rng rng(seed);
   LocalSearchParams ls;
   ls.objective = ObjectiveKind::kUcpc;
   ls.max_passes = params.max_passes;
   ls.init = params.init;
-  return RunLocalSearch(mm, k, ls, &rng);
+  return RunLocalSearch(mm, k, ls, &rng, eng);
 }
 
 ClusteringResult Ucpc::Cluster(const data::UncertainDataset& data, int k,
@@ -23,7 +24,7 @@ ClusteringResult Ucpc::Cluster(const data::UncertainDataset& data, int k,
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_);
+  LocalSearchOutcome outcome = RunOnMoments(mm, k, seed, params_, engine());
   ClusteringResult result;
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;

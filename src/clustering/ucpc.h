@@ -29,10 +29,13 @@ class Ucpc final : public Clusterer {
                            uint64_t seed) const override;
 
   /// Kernel entry point for pre-packed moment statistics (used by the
-  /// scalability benches; numerically identical to Cluster()).
+  /// scalability benches; numerically identical to Cluster()). Results are
+  /// bit-identical for any engine thread count.
   static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
                                          int k, uint64_t seed,
-                                         const Params& params);
+                                         const Params& params,
+                                         const engine::Engine& eng =
+                                             engine::Engine::Serial());
   /// Kernel entry point with default parameters.
   static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
                                          int k, uint64_t seed) {

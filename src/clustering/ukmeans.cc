@@ -1,38 +1,17 @@
 #include "clustering/ukmeans.h"
 
 #include <cassert>
-#include <limits>
 
 #include "clustering/init.h"
-#include "common/math_utils.h"
+#include "clustering/kernels.h"
 #include "common/stopwatch.h"
 
 namespace uclust::clustering {
 
-namespace {
-
-// Index of the centroid (flat k x m array) nearest to `point`.
-int NearestCentroid(std::span<const double> point,
-                    const std::vector<double>& centroids, int k,
-                    std::size_t m) {
-  int best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (int c = 0; c < k; ++c) {
-    const double d = common::SquaredDistance(
-        point, std::span<const double>(centroids.data() + c * m, m));
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
 Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentMatrix& mm,
                                        int k, uint64_t seed,
-                                       const Params& params) {
+                                       const Params& params,
+                                       const engine::Engine& eng) {
   const std::size_t n = mm.size();
   const std::size_t m = mm.dims();
   assert(k >= 1 && n >= static_cast<std::size_t>(k));
@@ -47,31 +26,18 @@ Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentMatrix& mm,
 
   Outcome out;
   out.labels.assign(n, -1);
-  std::vector<double> sums(static_cast<std::size_t>(k) * m);
-  std::vector<std::size_t> counts(k);
+  std::vector<double> sums;
+  std::vector<std::size_t> counts;
 
   for (out.iterations = 0; out.iterations < params.max_iters;
        ++out.iterations) {
     // Assignment: argmin_c ED(o, c) = argmin_c ||mu(o) - c||^2 (Eq. 8).
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const int best = NearestCentroid(mm.mean(i), centroids, k, m);
-      if (best != out.labels[i]) {
-        out.labels[i] = best;
-        changed = true;
-      }
+    if (kernels::AssignNearest(eng, mm, centroids, k, out.labels) == 0) {
+      break;
     }
-    if (!changed) break;
 
     // Update: centroid = average of member expected values (Eq. 7).
-    std::fill(sums.begin(), sums.end(), 0.0);
-    std::fill(counts.begin(), counts.end(), std::size_t{0});
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto mean = mm.mean(i);
-      double* dst = sums.data() + static_cast<std::size_t>(out.labels[i]) * m;
-      for (std::size_t j = 0; j < m; ++j) dst[j] += mean[j];
-      ++counts[out.labels[i]];
-    }
+    kernels::SumMeansByLabel(eng, mm, out.labels, k, &sums, &counts);
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster with a random object's mean.
@@ -88,14 +54,7 @@ Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentMatrix& mm,
   }
 
   // Final objective: sum_o [ sigma^2(o) + ||mu(o) - c_l(o)||^2 ].
-  out.objective = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t c = static_cast<std::size_t>(out.labels[i]);
-    out.objective +=
-        mm.total_variance(i) +
-        common::SquaredDistance(
-            mm.mean(i), std::span<const double>(centroids.data() + c * m, m));
-  }
+  out.objective = kernels::AssignmentObjective(eng, mm, out.labels, centroids);
   return out;
 }
 
@@ -106,7 +65,7 @@ ClusteringResult Ukmeans::Cluster(const data::UncertainDataset& data, int k,
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  Outcome outcome = RunOnMoments(mm, k, seed, params_);
+  Outcome outcome = RunOnMoments(mm, k, seed, params_, engine());
   ClusteringResult result;
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;

@@ -36,9 +36,13 @@ class Ukmeans final : public Clusterer {
   ClusteringResult Cluster(const data::UncertainDataset& data, int k,
                            uint64_t seed) const override;
 
-  /// Kernel entry point for pre-packed moment statistics.
+  /// Kernel entry point for pre-packed moment statistics. `eng` dispatches
+  /// the assignment/update sweeps; the labels and objective are bit-identical
+  /// for any engine thread count.
   static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
-                              uint64_t seed, const Params& params);
+                              uint64_t seed, const Params& params,
+                              const engine::Engine& eng =
+                                  engine::Engine::Serial());
   /// Kernel entry point with default parameters.
   static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
                               uint64_t seed) {

@@ -4,8 +4,10 @@
 #include <limits>
 
 #include "clustering/init.h"
+#include "clustering/kernels.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
+#include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
 #include "uncertain/sample_cache.h"
 
@@ -16,39 +18,21 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   const std::size_t n = data.size();
   assert(k >= 1 && n >= static_cast<std::size_t>(k));
   common::Rng rng(seed);
+  const engine::Engine& eng = engine();
 
   ClusteringResult result;
   result.k_requested = k;
 
   // Offline phase: the full pairwise ED^ table.
   common::Stopwatch offline;
-  std::vector<double> dist(n * n, 0.0);
+  std::vector<double> dist;
   if (params_.use_closed_form) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double d =
-            uncertain::ExpectedSquaredDistance(data.object(i), data.object(j));
-        dist[i * n + j] = d;
-        dist[j * n + i] = d;
-      }
-    }
+    kernels::PairwiseClosedFormED(eng, data.objects(), &dist);
   } else {
     const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                       params_.sample_seed);
-    const int s_count = cache.samples_per_object();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        double acc = 0.0;
-        for (int s = 0; s < s_count; ++s) {
-          acc += common::SquaredDistance(cache.SampleOf(i, s),
-                                         cache.SampleOf(j, s));
-        }
-        const double d = acc / s_count;
-        dist[i * n + j] = d;
-        dist[j * n + i] = d;
-        ++result.ed_evaluations;
-      }
-    }
+                                       params_.sample_seed, eng);
+    result.ed_evaluations +=
+        kernels::PairwiseSampleED(eng, cache, /*take_sqrt=*/false, &dist);
   }
   result.offline_ms = offline.ElapsedMs();
 
@@ -57,31 +41,63 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   std::vector<std::size_t> medoids = RandomDistinctObjects(n, k, &rng);
   result.labels.assign(n, -1);
   std::vector<std::vector<std::size_t>> members(k);
+  std::vector<std::size_t> best_medoid(k);
 
   for (result.iterations = 0; result.iterations < params_.max_iters;
        ++result.iterations) {
-    // Assignment to the nearest medoid.
-    bool changed = false;
+    // Assignment to the nearest medoid (parallel over object blocks; the
+    // change counter reduces over blocks in order).
+    const std::vector<std::size_t> changed_per_block =
+        engine::MapBlocks<std::size_t>(
+            eng, n, [&](const engine::BlockedRange& r) {
+              std::size_t changed = 0;
+              for (std::size_t i = r.begin; i < r.end; ++i) {
+                int best = 0;
+                double best_d = std::numeric_limits<double>::infinity();
+                for (int c = 0; c < k; ++c) {
+                  const double d = dist[i * n + medoids[c]];
+                  if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                  }
+                }
+                if (best != result.labels[i]) {
+                  result.labels[i] = best;
+                  ++changed;
+                }
+              }
+              return changed;
+            });
+    std::size_t changed = 0;
+    for (std::size_t c : changed_per_block) changed += c;
     for (auto& mlist : members) mlist.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      int best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
-        const double d = dist[i * n + medoids[c]];
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
-      if (best != result.labels[i]) {
-        result.labels[i] = best;
-        changed = true;
-      }
-      members[best].push_back(i);
+      members[result.labels[i]].push_back(i);
     }
-    if (!changed && result.iterations > 0) break;
+    if (changed == 0 && result.iterations > 0) break;
 
     // Update: each cluster's medoid minimizes the total ED^ to its members.
+    // Non-empty clusters are independent (parallel over clusters); empty
+    // clusters re-seed serially afterwards so the rng draw order does not
+    // depend on the thread count.
+    engine::ParallelForBlocked(
+        eng, static_cast<std::size_t>(k), 1, [&](const engine::BlockedRange& r) {
+          for (std::size_t c = r.begin; c < r.end; ++c) {
+            best_medoid[c] = medoids[c];
+            if (members[c].empty()) continue;
+            double best_cost = std::numeric_limits<double>::infinity();
+            for (std::size_t cand : members[c]) {
+              double cost = 0.0;
+              for (std::size_t other : members[c]) {
+                cost += dist[cand * n + other];
+              }
+              if (cost < best_cost) {
+                best_cost = cost;
+                best_medoid[c] = cand;
+              }
+            }
+          }
+        });
     bool medoid_moved = false;
     for (int c = 0; c < k; ++c) {
       if (members[c].empty()) {
@@ -89,18 +105,8 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
         medoid_moved = true;
         continue;
       }
-      std::size_t best = medoids[c];
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (std::size_t cand : members[c]) {
-        double cost = 0.0;
-        for (std::size_t other : members[c]) cost += dist[cand * n + other];
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = cand;
-        }
-      }
-      if (best != medoids[c]) {
-        medoids[c] = best;
+      if (best_medoid[c] != medoids[c]) {
+        medoids[c] = best_medoid[c];
         medoid_moved = true;
       }
     }

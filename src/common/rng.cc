@@ -54,4 +54,13 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
   return idx;
 }
 
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  // splitmix64 finalizer over the (seed, stream) pair; the odd constant
+  // decorrelates consecutive stream indices.
+  uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace uclust::common

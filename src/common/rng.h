@@ -58,6 +58,12 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Deterministically derives the seed of an independent sub-stream from a
+/// master seed and a stream index (splitmix64 finalizer over the pair).
+/// Parallel code uses one sub-stream per object so that the draws are
+/// reproducible for any thread count and any processing order.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace uclust::common
 
 #endif  // UCLUST_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/cli.h"
+
+namespace uclust::engine {
+
+Engine::Engine(const EngineConfig& config) {
+  block_size_ = std::max<std::size_t>(config.block_size, 1);
+  int threads = config.num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads - 1);
+}
+
+const Engine& Engine::Serial() {
+  static const Engine* serial = new Engine();
+  return *serial;
+}
+
+EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
+  EngineConfig config;
+  config.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  config.block_size =
+      static_cast<std::size_t>(args.GetInt("block_size", 1024));
+  return config;
+}
+
+}  // namespace uclust::engine

@@ -1,0 +1,70 @@
+// Execution-engine configuration and the shared Engine handle.
+//
+// Every compute path in the library (assignment sweeps, relocation passes,
+// pairwise tables, sample drawing) dispatches through an Engine. An Engine
+// is a cheap copyable handle: copies share one ThreadPool, so a whole
+// algorithm registry can run on a single pool. The default-constructed
+// Engine is serial and allocates no threads, which keeps single-threaded
+// call sites (and unit tests) zero-overhead.
+//
+// Determinism contract: for a fixed EngineConfig::block_size, every kernel
+// built on this engine produces bit-identical results for ANY num_threads,
+// because reductions always combine per-block partials in block order (see
+// parallel_for.h). Changing block_size may change floating-point rounding,
+// never correctness.
+#ifndef UCLUST_ENGINE_ENGINE_H_
+#define UCLUST_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "engine/thread_pool.h"
+
+namespace uclust::common {
+class ArgParser;
+}  // namespace uclust::common
+
+namespace uclust::engine {
+
+/// User-facing execution knobs.
+struct EngineConfig {
+  /// Total concurrency (pool workers + calling thread). 1 = serial;
+  /// 0 = use the hardware concurrency.
+  int num_threads = 1;
+  /// Objects per block in blocked-range loops. Fixed block boundaries are
+  /// what make reductions independent of the thread count.
+  std::size_t block_size = 1024;
+};
+
+/// Copyable handle bundling an EngineConfig with a (shared) thread pool.
+class Engine {
+ public:
+  /// Serial engine: no pool, every ParallelFor runs inline.
+  Engine() = default;
+
+  /// Engine honoring `config`; spawns a pool only when num_threads > 1.
+  explicit Engine(const EngineConfig& config);
+
+  /// Shared serial instance for default arguments.
+  static const Engine& Serial();
+
+  /// Effective concurrency (>= 1).
+  int num_threads() const {
+    return pool_ ? pool_->max_concurrency() : 1;
+  }
+  /// Block size for blocked-range loops (>= 1).
+  std::size_t block_size() const { return block_size_; }
+  /// The pool, or nullptr when serial.
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  std::size_t block_size_ = 1024;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+/// Reads `--threads=N` (0 = auto) and `--block_size=B` from parsed flags.
+EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
+
+}  // namespace uclust::engine
+
+#endif  // UCLUST_ENGINE_ENGINE_H_

@@ -1,0 +1,104 @@
+// Blocked-range parallel loops and deterministic reductions over an Engine.
+//
+// The partition of [0, n) into blocks depends only on block_size — never on
+// the thread count — and MapBlocks() hands back the per-block results in
+// block order. Reducing those partials sequentially therefore yields the
+// same floating-point result for 1 thread and for N threads, which is the
+// library-wide determinism contract (see engine.h).
+#ifndef UCLUST_ENGINE_PARALLEL_FOR_H_
+#define UCLUST_ENGINE_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace uclust::engine {
+
+/// One contiguous chunk of a blocked iteration space.
+struct BlockedRange {
+  std::size_t begin = 0;  ///< First index of the block.
+  std::size_t end = 0;    ///< One past the last index.
+  std::size_t index = 0;  ///< Block number in [0, NumBlocks(n, block_size)).
+};
+
+/// Number of blocks covering [0, n) at the given block size.
+inline std::size_t NumBlocks(std::size_t n, std::size_t block_size) {
+  return block_size == 0 ? 0 : (n + block_size - 1) / block_size;
+}
+
+/// Runs fn(BlockedRange) over every block of [0, n). Blocks run concurrently
+/// on the engine's pool (inline, in order, when the engine is serial or the
+/// range fits in one block). fn must not touch data of other blocks except
+/// through read-only views.
+template <typename Fn>
+void ParallelForBlocked(const Engine& eng, std::size_t n,
+                        std::size_t block_size, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t block = block_size < 1 ? 1 : block_size;
+  const std::size_t blocks = NumBlocks(n, block);
+  auto run_block = [&](std::size_t b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = begin + block < n ? begin + block : n;
+    fn(BlockedRange{begin, end, b});
+  };
+  ThreadPool* pool = eng.pool();
+  if (pool == nullptr || blocks <= 1) {
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b);
+    return;
+  }
+  pool->RunTasks(blocks, run_block);
+}
+
+/// ParallelForBlocked at the engine's configured block size.
+template <typename Fn>
+void ParallelFor(const Engine& eng, std::size_t n, Fn&& fn) {
+  ParallelForBlocked(eng, n, eng.block_size(), std::forward<Fn>(fn));
+}
+
+/// Maps every block of [0, n) through fn(BlockedRange) -> T and returns the
+/// results indexed by block number. Fold the vector front-to-back for a
+/// thread-count-independent reduction.
+template <typename T, typename Fn>
+std::vector<T> MapBlocksBlocked(const Engine& eng, std::size_t n,
+                                std::size_t block_size, Fn&& fn) {
+  std::vector<T> partials(NumBlocks(n, block_size < 1 ? 1 : block_size));
+  ParallelForBlocked(eng, n, block_size, [&](const BlockedRange& r) {
+    partials[r.index] = fn(r);
+  });
+  return partials;
+}
+
+/// MapBlocksBlocked at the engine's configured block size.
+template <typename T, typename Fn>
+std::vector<T> MapBlocks(const Engine& eng, std::size_t n, Fn&& fn) {
+  return MapBlocksBlocked<T>(eng, n, eng.block_size(), std::forward<Fn>(fn));
+}
+
+/// Per-thread scratch storage: one T slot per concurrency lane of the
+/// engine. Inside a ParallelFor body, local() returns the slot owned by the
+/// executing thread. Scratch contents are unspecified between blocks — use
+/// it for temporaries only, never for reduction state (reductions must go
+/// through MapBlocks to stay deterministic).
+template <typename T>
+class PerWorker {
+ public:
+  /// Creates engine.num_threads() copies of `prototype`.
+  explicit PerWorker(const Engine& eng, const T& prototype = T())
+      : slots_(static_cast<std::size_t>(eng.num_threads()), prototype) {}
+
+  /// Scratch slot of the calling thread.
+  T& local() { return slots_[static_cast<std::size_t>(
+      ThreadPool::CurrentWorkerId()) % slots_.size()]; }
+
+  /// All slots (e.g. to release memory once the loop is done).
+  std::vector<T>& slots() { return slots_; }
+
+ private:
+  std::vector<T> slots_;
+};
+
+}  // namespace uclust::engine
+
+#endif  // UCLUST_ENGINE_PARALLEL_FOR_H_

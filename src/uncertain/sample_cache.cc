@@ -3,25 +3,34 @@
 #include <cassert>
 
 #include "common/math_utils.h"
+#include "engine/parallel_for.h"
 
 namespace uclust::uncertain {
 
 SampleCache::SampleCache(std::span<const UncertainObject> objects,
-                         int samples_per_object, uint64_t seed)
+                         int samples_per_object, uint64_t seed,
+                         const engine::Engine& eng)
     : count_(objects.size()),
       samples_(samples_per_object),
       dims_(objects.empty() ? 0 : objects[0].dims()) {
   assert(samples_per_object > 0);
-  common::Rng rng(seed);
   data_.resize(count_ * static_cast<std::size_t>(samples_) * dims_);
-  std::size_t off = 0;
-  for (const UncertainObject& o : objects) {
-    assert(o.dims() == dims_);
-    for (int s = 0; s < samples_; ++s) {
-      o.SampleInto(&rng, std::span<double>(data_.data() + off, dims_));
-      off += dims_;
+  const std::size_t row = static_cast<std::size_t>(samples_) * dims_;
+  // One seeded sub-stream per object: the draws do not depend on the order
+  // in which objects are processed, so any thread count (and the serial
+  // path) fills the cache with exactly the same values.
+  engine::ParallelFor(eng, count_, [&](const engine::BlockedRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      assert(objects[i].dims() == dims_);
+      common::Rng rng(common::DeriveSeed(seed, i));
+      std::size_t off = i * row;
+      for (int s = 0; s < samples_; ++s) {
+        objects[i].SampleInto(&rng,
+                              std::span<double>(data_.data() + off, dims_));
+        off += dims_;
+      }
     }
-  }
+  });
 }
 
 std::span<const double> SampleCache::SampleOf(std::size_t i, int s) const {

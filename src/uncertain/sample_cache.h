@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "engine/engine.h"
 #include "uncertain/uncertain_object.h"
 
 namespace uclust::uncertain {
@@ -19,8 +20,12 @@ namespace uclust::uncertain {
 class SampleCache {
  public:
   /// Draws `samples_per_object` realizations of every object with the seed.
+  /// Object i draws from its own sub-stream (common::DeriveSeed(seed, i)),
+  /// so the cache contents are bit-identical for any engine thread count and
+  /// are independent of the drawing order.
   SampleCache(std::span<const UncertainObject> objects,
-              int samples_per_object, uint64_t seed);
+              int samples_per_object, uint64_t seed,
+              const engine::Engine& eng = engine::Engine::Serial());
 
   /// Number of objects covered.
   std::size_t size() const { return count_; }

@@ -1,0 +1,190 @@
+// Tests for the execution engine: ThreadPool scheduling and reuse,
+// exception propagation, blocked-range helpers, and the determinism
+// contract of MapBlocks reductions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/parallel_for.h"
+#include "engine/thread_pool.h"
+
+namespace uclust::engine {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  EXPECT_EQ(pool.max_concurrency(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.RunTasks(100, [&](std::size_t t) { ++hits[t]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.RunTasks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.RunTasks(16, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 200 * 16);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.RunTasks(64,
+                    [&](std::size_t t) {
+                      if (t == 13) throw std::runtime_error("task 13 failed");
+                      ++completed;
+                    }),
+      std::runtime_error);
+  // Every non-throwing task still ran; the batch drained before rethrow.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, SurvivesExceptionAndKeepsWorking) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.RunTasks(
+                   8, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> total{0};
+  pool.RunTasks(8, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunTasksExecutesInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.RunTasks(4, [&](std::size_t) {
+    pool.RunTasks(5, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 5);
+}
+
+TEST(ParallelFor, CoversTheRangeWithoutOverlap) {
+  for (int threads : {1, 4}) {
+    EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 7;  // deliberately not dividing n
+    Engine eng(config);
+    std::vector<std::atomic<int>> hits(100);
+    ParallelFor(eng, 100, [&](const BlockedRange& r) {
+      EXPECT_LT(r.begin, r.end);
+      for (std::size_t i = r.begin; i < r.end; ++i) ++hits[i];
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesTheBody) {
+  EngineConfig config;
+  config.num_threads = 4;
+  Engine eng(config);
+  bool ran = false;
+  ParallelFor(eng, 0, [&](const BlockedRange&) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, BlockIndicesMatchBoundaries) {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.block_size = 10;
+  Engine eng(config);
+  std::vector<std::atomic<int>> seen(NumBlocks(95, 10));
+  ParallelFor(eng, 95, [&](const BlockedRange& r) {
+    EXPECT_EQ(r.begin, r.index * 10);
+    EXPECT_EQ(r.end, std::min<std::size_t>(r.begin + 10, 95));
+    ++seen[r.index];
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(MapBlocks, OrderedReductionIsThreadCountInvariant) {
+  // A sum of pseudo-random doubles is sensitive to association order; the
+  // per-block partials must therefore be bit-identical across thread counts.
+  std::vector<double> values(10'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i)) * 1e3;
+  }
+  auto total_at = [&](int threads) {
+    EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 256;
+    Engine eng(config);
+    const std::vector<double> partials =
+        MapBlocks<double>(eng, values.size(), [&](const BlockedRange& r) {
+          double acc = 0.0;
+          for (std::size_t i = r.begin; i < r.end; ++i) acc += values[i];
+          return acc;
+        });
+    double total = 0.0;
+    for (double p : partials) total += p;
+    return total;
+  };
+  const double serial = total_at(1);
+  for (int threads : {2, 3, 8}) {
+    const double parallel = total_at(threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(Engine, SerialEngineHasNoPool) {
+  const Engine& eng = Engine::Serial();
+  EXPECT_EQ(eng.pool(), nullptr);
+  EXPECT_EQ(eng.num_threads(), 1);
+}
+
+TEST(Engine, SingleThreadConfigStaysSerial) {
+  EngineConfig config;
+  config.num_threads = 1;
+  Engine eng(config);
+  EXPECT_EQ(eng.pool(), nullptr);
+}
+
+TEST(Engine, AutoThreadsResolvesToHardware) {
+  EngineConfig config;
+  config.num_threads = 0;  // auto
+  Engine eng(config);
+  EXPECT_GE(eng.num_threads(), 1);
+}
+
+TEST(Engine, CopiesShareOnePool) {
+  EngineConfig config;
+  config.num_threads = 4;
+  Engine a(config);
+  Engine b = a;
+  EXPECT_EQ(a.pool(), b.pool());
+  EXPECT_NE(a.pool(), nullptr);
+}
+
+TEST(PerWorker, SlotsMatchConcurrencyAndStayInRange) {
+  EngineConfig config;
+  config.num_threads = 3;
+  config.block_size = 4;
+  Engine eng(config);
+  PerWorker<std::vector<int>> scratch(eng);
+  EXPECT_EQ(scratch.slots().size(), 3u);
+  std::atomic<int> touched{0};
+  ParallelFor(eng, 1000, [&](const BlockedRange& r) {
+    std::vector<int>& local = scratch.local();
+    local.assign(1, static_cast<int>(r.index));
+    touched += static_cast<int>(r.end - r.begin);
+  });
+  EXPECT_EQ(touched.load(), 1000);
+}
+
+}  // namespace
+}  // namespace uclust::engine

@@ -1,0 +1,145 @@
+// Cross-thread-count determinism of the clustering stack: for a fixed seed
+// and block size, labels, objectives, diagnostics, and cached samples must
+// be bit-identical for num_threads in {1, 2, 8}. This is the library-wide
+// engine contract (fixed block partition + ordered reductions + per-object
+// rng sub-streams) that lets production deployments change parallelism
+// without changing results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clustering/basic_ukmeans.h"
+#include "clustering/mmvar.h"
+#include "clustering/registry.h"
+#include "clustering/ucpc.h"
+#include "clustering/ukmeans.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "engine/engine.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+data::UncertainDataset TestDataset(std::size_t n, std::size_t m, int classes,
+                                   uint64_t seed) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = m;
+  params.classes = classes;
+  const data::DeterministicDataset d =
+      data::MakeGaussianMixture(params, seed, "determinism");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+engine::Engine EngineWith(int threads) {
+  engine::EngineConfig config;
+  config.num_threads = threads;
+  config.block_size = 128;  // several blocks even on the small test sets
+  return engine::Engine(config);
+}
+
+TEST(ParallelDeterminism, UkmeansBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(700, 4, 5, 31);
+  const auto baseline = Ukmeans::RunOnMoments(ds.moments(), 5, 7,
+                                              Ukmeans::Params(),
+                                              EngineWith(1));
+  for (int threads : kThreadCounts) {
+    const auto out = Ukmeans::RunOnMoments(ds.moments(), 5, 7,
+                                           Ukmeans::Params(),
+                                           EngineWith(threads));
+    EXPECT_EQ(out.labels, baseline.labels) << "threads=" << threads;
+    EXPECT_EQ(out.objective, baseline.objective) << "threads=" << threads;
+    EXPECT_EQ(out.iterations, baseline.iterations) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, UcpcBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(600, 3, 4, 33);
+  const auto baseline =
+      Ucpc::RunOnMoments(ds.moments(), 4, 9, Ucpc::Params(), EngineWith(1));
+  for (int threads : kThreadCounts) {
+    const auto out =
+        Ucpc::RunOnMoments(ds.moments(), 4, 9, Ucpc::Params(),
+                           EngineWith(threads));
+    EXPECT_EQ(out.labels, baseline.labels) << "threads=" << threads;
+    EXPECT_EQ(out.objective, baseline.objective) << "threads=" << threads;
+    EXPECT_EQ(out.passes, baseline.passes) << "threads=" << threads;
+    EXPECT_EQ(out.moves, baseline.moves) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, MmvarBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(600, 3, 4, 35);
+  const auto baseline =
+      Mmvar::RunOnMoments(ds.moments(), 4, 11, Mmvar::Params(), EngineWith(1));
+  for (int threads : kThreadCounts) {
+    const auto out = Mmvar::RunOnMoments(ds.moments(), 4, 11, Mmvar::Params(),
+                                         EngineWith(threads));
+    EXPECT_EQ(out.labels, baseline.labels) << "threads=" << threads;
+    EXPECT_EQ(out.objective, baseline.objective) << "threads=" << threads;
+    EXPECT_EQ(out.passes, baseline.passes) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, SampleCacheContentsBitIdentical) {
+  const auto ds = TestDataset(300, 3, 3, 37);
+  const uncertain::SampleCache serial(ds.objects(), 16, 0x5eed, EngineWith(1));
+  for (int threads : kThreadCounts) {
+    const uncertain::SampleCache parallel(ds.objects(), 16, 0x5eed,
+                                          EngineWith(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      for (int s = 0; s < serial.samples_per_object(); ++s) {
+        const auto a = serial.SampleOf(i, s);
+        const auto b = parallel.SampleOf(i, s);
+        ASSERT_EQ(std::vector<double>(a.begin(), a.end()),
+                  std::vector<double>(b.begin(), b.end()))
+            << "object " << i << " sample " << s << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, EveryRegisteredAlgorithmMatchesSerial) {
+  // End-to-end sweep over the registry (pruned variants, medoids, density
+  // methods included): labels and objective must not depend on the thread
+  // count. Small n keeps the quadratic algorithms fast.
+  const auto ds = TestDataset(140, 3, 3, 39);
+  for (const std::string& name : RegisteredClusterers()) {
+    engine::EngineConfig serial_config;
+    serial_config.num_threads = 1;
+    serial_config.block_size = 32;
+    const auto serial_algo =
+        MakeClusterer(name, engine::Engine(serial_config)).ValueOrDie();
+    const ClusteringResult baseline = serial_algo->Cluster(ds, 3, 13);
+    for (int threads : {2, 8}) {
+      engine::EngineConfig config;
+      config.num_threads = threads;
+      config.block_size = 32;
+      const auto algo =
+          MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+      const ClusteringResult out = algo->Cluster(ds, 3, 13);
+      EXPECT_EQ(out.labels, baseline.labels)
+          << name << " threads=" << threads;
+      if (!std::isnan(baseline.objective)) {
+        EXPECT_EQ(out.objective, baseline.objective)
+            << name << " threads=" << threads;
+      }
+      EXPECT_EQ(out.iterations, baseline.iterations)
+          << name << " threads=" << threads;
+      EXPECT_EQ(out.ed_evaluations, baseline.ed_evaluations)
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uclust::clustering
