@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_ukmeans.dir/tests/test_basic_ukmeans.cc.o"
+  "CMakeFiles/test_basic_ukmeans.dir/tests/test_basic_ukmeans.cc.o.d"
+  "test_basic_ukmeans"
+  "test_basic_ukmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_ukmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

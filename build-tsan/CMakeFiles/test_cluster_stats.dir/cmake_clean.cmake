@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_stats.dir/tests/test_cluster_stats.cc.o"
+  "CMakeFiles/test_cluster_stats.dir/tests/test_cluster_stats.cc.o.d"
+  "test_cluster_stats"
+  "test_cluster_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

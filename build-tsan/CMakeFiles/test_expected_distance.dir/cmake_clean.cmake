@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expected_distance.dir/tests/test_expected_distance.cc.o"
+  "CMakeFiles/test_expected_distance.dir/tests/test_expected_distance.cc.o.d"
+  "test_expected_distance"
+  "test_expected_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expected_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdfs.dir/tests/test_pdfs.cc.o"
+  "CMakeFiles/test_pdfs.dir/tests/test_pdfs.cc.o.d"
+  "test_pdfs"
+  "test_pdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorems.dir/tests/test_theorems.cc.o"
+  "CMakeFiles/test_theorems.dir/tests/test_theorems.cc.o.d"
+  "test_theorems"
+  "test_theorems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

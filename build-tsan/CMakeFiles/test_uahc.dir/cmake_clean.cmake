@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uahc.dir/tests/test_uahc.cc.o"
+  "CMakeFiles/test_uahc.dir/tests/test_uahc.cc.o.d"
+  "test_uahc"
+  "test_uahc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uahc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

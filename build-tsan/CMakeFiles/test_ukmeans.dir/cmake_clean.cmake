@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ukmeans.dir/tests/test_ukmeans.cc.o"
+  "CMakeFiles/test_ukmeans.dir/tests/test_ukmeans.cc.o.d"
+  "test_ukmeans"
+  "test_ukmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ukmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

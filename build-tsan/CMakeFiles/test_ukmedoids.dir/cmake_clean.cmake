@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ukmedoids.dir/tests/test_ukmedoids.cc.o"
+  "CMakeFiles/test_ukmedoids.dir/tests/test_ukmedoids.cc.o.d"
+  "test_ukmedoids"
+  "test_ukmedoids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ukmedoids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncertain_object.dir/tests/test_uncertain_object.cc.o"
+  "CMakeFiles/test_uncertain_object.dir/tests/test_uncertain_object.cc.o.d"
+  "test_uncertain_object"
+  "test_uncertain_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncertain_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

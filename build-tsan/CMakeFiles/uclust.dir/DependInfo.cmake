@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/basic_ukmeans.cc" "CMakeFiles/uclust.dir/src/clustering/basic_ukmeans.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/basic_ukmeans.cc.o.d"
+  "/root/repo/src/clustering/cluster_stats.cc" "CMakeFiles/uclust.dir/src/clustering/cluster_stats.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/cluster_stats.cc.o.d"
+  "/root/repo/src/clustering/clusterer.cc" "CMakeFiles/uclust.dir/src/clustering/clusterer.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/clusterer.cc.o.d"
+  "/root/repo/src/clustering/fdbscan.cc" "CMakeFiles/uclust.dir/src/clustering/fdbscan.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/fdbscan.cc.o.d"
+  "/root/repo/src/clustering/foptics.cc" "CMakeFiles/uclust.dir/src/clustering/foptics.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/foptics.cc.o.d"
+  "/root/repo/src/clustering/init.cc" "CMakeFiles/uclust.dir/src/clustering/init.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/init.cc.o.d"
+  "/root/repo/src/clustering/kernels.cc" "CMakeFiles/uclust.dir/src/clustering/kernels.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/kernels.cc.o.d"
+  "/root/repo/src/clustering/local_search.cc" "CMakeFiles/uclust.dir/src/clustering/local_search.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/local_search.cc.o.d"
+  "/root/repo/src/clustering/mmvar.cc" "CMakeFiles/uclust.dir/src/clustering/mmvar.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/mmvar.cc.o.d"
+  "/root/repo/src/clustering/pruning.cc" "CMakeFiles/uclust.dir/src/clustering/pruning.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/pruning.cc.o.d"
+  "/root/repo/src/clustering/registry.cc" "CMakeFiles/uclust.dir/src/clustering/registry.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/registry.cc.o.d"
+  "/root/repo/src/clustering/uahc.cc" "CMakeFiles/uclust.dir/src/clustering/uahc.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/uahc.cc.o.d"
+  "/root/repo/src/clustering/ucpc.cc" "CMakeFiles/uclust.dir/src/clustering/ucpc.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/ucpc.cc.o.d"
+  "/root/repo/src/clustering/ukmeans.cc" "CMakeFiles/uclust.dir/src/clustering/ukmeans.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/ukmeans.cc.o.d"
+  "/root/repo/src/clustering/ukmedoids.cc" "CMakeFiles/uclust.dir/src/clustering/ukmedoids.cc.o" "gcc" "CMakeFiles/uclust.dir/src/clustering/ukmedoids.cc.o.d"
+  "/root/repo/src/common/cli.cc" "CMakeFiles/uclust.dir/src/common/cli.cc.o" "gcc" "CMakeFiles/uclust.dir/src/common/cli.cc.o.d"
+  "/root/repo/src/common/csv.cc" "CMakeFiles/uclust.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/uclust.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/math_utils.cc" "CMakeFiles/uclust.dir/src/common/math_utils.cc.o" "gcc" "CMakeFiles/uclust.dir/src/common/math_utils.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/uclust.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/uclust.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/uclust.dir/src/common/status.cc.o" "gcc" "CMakeFiles/uclust.dir/src/common/status.cc.o.d"
+  "/root/repo/src/data/benchmark_gen.cc" "CMakeFiles/uclust.dir/src/data/benchmark_gen.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/benchmark_gen.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "CMakeFiles/uclust.dir/src/data/csv_io.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/uclust.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/kdd_gen.cc" "CMakeFiles/uclust.dir/src/data/kdd_gen.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/kdd_gen.cc.o.d"
+  "/root/repo/src/data/microarray_gen.cc" "CMakeFiles/uclust.dir/src/data/microarray_gen.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/microarray_gen.cc.o.d"
+  "/root/repo/src/data/uncertainty_model.cc" "CMakeFiles/uclust.dir/src/data/uncertainty_model.cc.o" "gcc" "CMakeFiles/uclust.dir/src/data/uncertainty_model.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/uclust.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/uclust.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/thread_pool.cc" "CMakeFiles/uclust.dir/src/engine/thread_pool.cc.o" "gcc" "CMakeFiles/uclust.dir/src/engine/thread_pool.cc.o.d"
+  "/root/repo/src/eval/external.cc" "CMakeFiles/uclust.dir/src/eval/external.cc.o" "gcc" "CMakeFiles/uclust.dir/src/eval/external.cc.o.d"
+  "/root/repo/src/eval/internal.cc" "CMakeFiles/uclust.dir/src/eval/internal.cc.o" "gcc" "CMakeFiles/uclust.dir/src/eval/internal.cc.o.d"
+  "/root/repo/src/eval/model_selection.cc" "CMakeFiles/uclust.dir/src/eval/model_selection.cc.o" "gcc" "CMakeFiles/uclust.dir/src/eval/model_selection.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "CMakeFiles/uclust.dir/src/eval/protocol.cc.o" "gcc" "CMakeFiles/uclust.dir/src/eval/protocol.cc.o.d"
+  "/root/repo/src/eval/silhouette.cc" "CMakeFiles/uclust.dir/src/eval/silhouette.cc.o" "gcc" "CMakeFiles/uclust.dir/src/eval/silhouette.cc.o.d"
+  "/root/repo/src/uncertain/box.cc" "CMakeFiles/uclust.dir/src/uncertain/box.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/box.cc.o.d"
+  "/root/repo/src/uncertain/dirac_pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/dirac_pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/dirac_pdf.cc.o.d"
+  "/root/repo/src/uncertain/discrete_pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/discrete_pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/discrete_pdf.cc.o.d"
+  "/root/repo/src/uncertain/expected_distance.cc" "CMakeFiles/uclust.dir/src/uncertain/expected_distance.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/expected_distance.cc.o.d"
+  "/root/repo/src/uncertain/exponential_pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/exponential_pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/exponential_pdf.cc.o.d"
+  "/root/repo/src/uncertain/moments.cc" "CMakeFiles/uclust.dir/src/uncertain/moments.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/moments.cc.o.d"
+  "/root/repo/src/uncertain/normal_pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/normal_pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/normal_pdf.cc.o.d"
+  "/root/repo/src/uncertain/pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/pdf.cc.o.d"
+  "/root/repo/src/uncertain/sample_cache.cc" "CMakeFiles/uclust.dir/src/uncertain/sample_cache.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/sample_cache.cc.o.d"
+  "/root/repo/src/uncertain/uncertain_object.cc" "CMakeFiles/uclust.dir/src/uncertain/uncertain_object.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/uncertain_object.cc.o.d"
+  "/root/repo/src/uncertain/uniform_pdf.cc" "CMakeFiles/uclust.dir/src/uncertain/uniform_pdf.cc.o" "gcc" "CMakeFiles/uclust.dir/src/uncertain/uniform_pdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
