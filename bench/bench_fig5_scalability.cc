@@ -5,8 +5,11 @@
 // moment statistics, so the sweep streams moments directly.
 //
 // Besides the paper's table, the bench measures the serial-vs-parallel
-// speedup of the execution engine at the 100% size and persists everything
-// to a machine-readable BENCH_fig5_scalability.json (see --json_out).
+// speedup of the execution engine at the 100% size, sweeps the
+// PairwiseStore backend axis (dense / tiled / on-the-fly ED^ tables) on an
+// object-backed UK-medoids workload with peak-RSS and peak-table-memory
+// accounting, and persists everything to a machine-readable
+// BENCH_fig5_scalability.json (see --json_out).
 //
 // Flags:
 //   --base_n=N        100% dataset size          (default 100000)
@@ -19,16 +22,21 @@
 //   --with_pruning    also time bUKM/MinMax-BB/VDBiP (object-backed; the
 //                     base size is then capped at --pruning_cap)
 //   --pruning_cap=N   cap for the pruning sweep  (default 8000)
+//   --pairwise_n=N    size of the backend-axis sweep (default 1500; 0
+//                     skips it)
+//   --pairwise_budget_mb=M  tiled-backend budget   (default 4)
 //   --seed=S          master seed                (default 1)
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_json.h"
+#include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
 #include "clustering/mmvar.h"
 #include "clustering/ucpc.h"
 #include "clustering/ukmeans.h"
+#include "clustering/ukmedoids.h"
 #include "common/cli.h"
 #include "common/stopwatch.h"
 #include "data/kdd_gen.h"
@@ -42,6 +50,8 @@ struct Timing {
   double ms = 0.0;
   int iterations = 0;
 };
+
+using bench::PeakRssKb;
 
 // Average online time of each moment-kernel algorithm over `runs`.
 void TimeFastGroup(const uncertain::MomentMatrix& mm, int k, int runs,
@@ -192,6 +202,78 @@ int main(int argc, char** argv) {
     }
   }
   json.EndArray();
+
+  // PairwiseStore backend axis: the same object-backed UK-medoids workload
+  // under an unlimited budget (dense table), a tiled budget, and a 1-byte
+  // budget (on-the-fly rows). Labels must agree bit-for-bit; what changes
+  // is peak table memory (recorded from the store) and process RSS.
+  const std::size_t pairwise_n =
+      static_cast<std::size_t>(args.GetInt("pairwise_n", 1500));
+  if (pairwise_n > 0) {
+    const std::size_t tiled_budget =
+        static_cast<std::size_t>(args.GetInt("pairwise_budget_mb", 4))
+        << 20;
+    data::KddLikeParams kp;
+    kp.n = std::max<std::size_t>(pairwise_n, static_cast<std::size_t>(k));
+    const auto source = data::MakeKddLikeDataset(kp, seed);
+    const auto ds = data::UncertaintyModel(source, up, seed + 1).Uncertain();
+    clustering::UkMedoids::Params mp;
+    mp.use_closed_form = true;
+    mp.max_iters = 4;  // memory probe, not a convergence study
+
+    std::printf("\n[pairwise backend axis: UK-medoids (closed form) at "
+                "n=%zu, dense table = %.1f MiB, tiled budget = %zu MiB]\n",
+                ds.size(),
+                static_cast<double>(ds.size()) * ds.size() *
+                    sizeof(double) / (1 << 20),
+                tiled_budget >> 20);
+    std::printf("%10s %14s | %10s %10s %14s %12s\n", "backend", "budget",
+                "offline", "online", "table_peak", "peak_rss");
+    json.Key("pairwise_backends");
+    json.BeginArray();
+    // Ascending-memory order with dense LAST: ru_maxrss is a monotone
+    // lifetime high-water mark, so each row's RSS reading is meaningful
+    // only if no heavier run preceded it.
+    const std::size_t budgets[] = {1, tiled_budget, 0};
+    struct BackendRun {
+      std::size_t budget = 0;
+      long rss_kb = 0;
+      clustering::ClusteringResult r;
+    };
+    std::vector<BackendRun> runs_out;
+    for (const std::size_t budget : budgets) {
+      engine::EngineConfig bc = engine_config;
+      bc.memory_budget_bytes = budget;
+      clustering::UkMedoids algo(mp);
+      algo.set_engine(engine::Engine(bc));
+      BackendRun run;
+      run.budget = budget;
+      run.r = algo.Cluster(ds, k, seed);
+      run.rss_kb = PeakRssKb();
+      runs_out.push_back(std::move(run));
+    }
+    const std::vector<int>& dense_labels = runs_out.back().r.labels;
+    for (const BackendRun& run : runs_out) {
+      const bool labels_match = run.r.labels == dense_labels;
+      std::printf("%10s %14zu | %8.1fms %8.1fms %11.2f MiB %9ld KB%s\n",
+                  run.r.pairwise_backend.c_str(), run.budget,
+                  run.r.offline_ms, run.r.online_ms,
+                  static_cast<double>(run.r.table_bytes_peak) / (1 << 20),
+                  run.rss_kb, labels_match ? "" : "  LABEL MISMATCH!");
+      json.BeginObject();
+      json.KV("backend", run.r.pairwise_backend);
+      json.KV("memory_budget_bytes", run.budget);
+      json.KV("n", ds.size());
+      json.KV("offline_ms", run.r.offline_ms);
+      json.KV("online_ms", run.r.online_ms);
+      json.KV("iterations", run.r.iterations);
+      json.KV("table_bytes_peak", run.r.table_bytes_peak);
+      json.KV("peak_rss_kb", static_cast<int64_t>(run.rss_kb));
+      json.KV("labels_match_dense", labels_match);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
 
   if (with_pruning) {
     std::printf("\n[pruning-based variants: object-backed sweep, base "

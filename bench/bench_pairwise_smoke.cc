@@ -1,0 +1,93 @@
+// Large-n memory smoke for the PairwiseStore backends: runs UK-medoids
+// (closed form) at a size whose dense n x n ED^ table cannot fit the
+// process's address-space limit, proving the budgeted backends cluster
+// where the dense table would OOM. CI runs this twice under a hard
+// `ulimit -v`:
+//
+//   --memory_budget_bytes=0   -> dense backend, expected to die on the
+//                                table allocation (the job asserts the
+//                                non-zero exit);
+//   --memory_budget_bytes=64M -> tiled backend, expected to finish and to
+//                                keep peak table bytes within the budget.
+//
+// Exit code: 0 on success, 1 when the run violates its own budget or
+// produces a degenerate clustering.
+//
+// Flags:
+//   --n=N                      objects               (default 20000)
+//   --m=M                      dimensions            (default 2)
+//   --k=K                      clusters              (default 8)
+//   --max_iters=I              PAM iteration cap     (default 2)
+//   --threads=N --block_size=B --memory_budget_bytes=B   engine knobs
+//   --seed=S                   master seed           (default 1)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "clustering/ukmedoids.h"
+#include "common/cli.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "engine/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace uclust;  // NOLINT: bench brevity
+  const common::ArgParser args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.GetInt("n", 20000));
+  const std::size_t m = static_cast<std::size_t>(args.GetInt("m", 2));
+  const int k = static_cast<int>(args.GetInt("k", 8));
+  const int max_iters = static_cast<int>(args.GetInt("max_iters", 2));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  const engine::EngineConfig config = engine::EngineConfigFromArgs(args);
+  const engine::Engine eng(config);
+
+  std::printf("[pairwise smoke] n=%zu m=%zu k=%d budget=%zu bytes "
+              "(dense table would be %.2f GiB)\n",
+              n, m, k, config.memory_budget_bytes,
+              static_cast<double>(n) * n * sizeof(double) /
+                  (1024.0 * 1024.0 * 1024.0));
+
+  data::MixtureParams mp;
+  mp.n = n;
+  mp.dims = m;
+  mp.classes = k;
+  const data::DeterministicDataset d =
+      data::MakeGaussianMixture(mp, seed, "pairwise-smoke");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  const data::UncertainDataset ds =
+      data::UncertaintyModel(d, up, seed + 1).Uncertain();
+  std::printf("[pairwise smoke] dataset built, rss=%ld KB\n", bench::PeakRssKb());
+
+  clustering::UkMedoids::Params params;
+  params.use_closed_form = true;
+  params.max_iters = max_iters;
+  clustering::UkMedoids algo(params);
+  algo.set_engine(eng);
+  const clustering::ClusteringResult r = algo.Cluster(ds, k, seed);
+
+  std::printf("[pairwise smoke] backend=%s iterations=%d clusters=%d "
+              "offline=%.1fms online=%.1fms table_peak=%zu bytes "
+              "rss=%ld KB\n",
+              r.pairwise_backend.c_str(), r.iterations, r.clusters_found,
+              r.offline_ms, r.online_ms, r.table_bytes_peak, bench::PeakRssKb());
+
+  if (r.clusters_found < 1 ||
+      r.labels.size() != ds.size()) {
+    std::fprintf(stderr, "degenerate clustering\n");
+    return 1;
+  }
+  // One row is the hard floor of row-granular access (see
+  // PairwiseStore::StreamRows), so a sub-row budget is checked against it.
+  const std::size_t budget_floor =
+      std::max(config.memory_budget_bytes, n * sizeof(double));
+  if (config.memory_budget_bytes > 0 && r.table_bytes_peak > budget_floor) {
+    std::fprintf(stderr, "table peak %zu exceeded the %zu-byte budget\n",
+                 r.table_bytes_peak, budget_floor);
+    return 1;
+  }
+  std::printf("[pairwise smoke] OK\n");
+  return 0;
+}

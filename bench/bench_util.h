@@ -1,0 +1,24 @@
+// Small shared helpers for the bench executables.
+#ifndef UCLUST_BENCH_BENCH_UTIL_H_
+#define UCLUST_BENCH_BENCH_UTIL_H_
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace uclust::bench {
+
+/// Lifetime peak resident set size of this process in KB (getrusage
+/// ru_maxrss; 0 where unsupported). Monotone high-water mark: a reading is
+/// attributable to a phase only if no heavier phase preceded it.
+inline long PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
+
+}  // namespace uclust::bench
+
+#endif  // UCLUST_BENCH_BENCH_UTIL_H_

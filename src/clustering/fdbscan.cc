@@ -5,7 +5,7 @@
 #include <cmath>
 #include <queue>
 
-#include "clustering/kernels.h"
+#include "clustering/pairwise_store.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
@@ -95,11 +95,21 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
                          ? params_.eps
                          : AutoEps(data, params_.min_pts, &rng, eng);
 
-  // Pairwise distance probabilities: upper-triangle rows computed in
-  // parallel, then mirrored serially into the sparse adjacency.
-  std::vector<std::vector<std::pair<std::size_t, double>>> upper;
-  result.ed_evaluations +=
-      kernels::DistanceProbabilityRows(eng, cache, eps, &upper);
+  // Pairwise distance probabilities: one streaming upper-triangle sweep
+  // through the pairwise store (each pair evaluated once, in parallel row
+  // blocks, only bounded scratch materialized), then mirrored serially into
+  // the sparse adjacency.
+  PairwiseStore store(
+      eng, kernels::PairwiseKernel::DistanceProbability(cache, eps));
+  std::vector<std::vector<std::pair<std::size_t, double>>> upper(n);
+  store.VisitUpperTriangle([&](std::size_t i, std::span<const double> tail) {
+    for (std::size_t t = 0; t < tail.size(); ++t) {
+      if (tail[t] > 0.0) upper[i].emplace_back(i + 1 + t, tail[t]);
+    }
+  });
+  result.ed_evaluations += store.ed_evaluations();
+  result.pairwise_backend = PairwiseBackendName(store.backend());
+  result.table_bytes_peak = store.table_bytes_peak();
   std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (const auto& [j, p] : upper[i]) {

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <limits>
 
-#include "clustering/kernels.h"
+#include "clustering/pairwise_store.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
@@ -44,33 +44,36 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   ClusteringResult result;
   result.k_requested = k;
 
-  // Offline: sample cache + pairwise fuzzy distance table.
+  // Offline: sample cache + the pairwise fuzzy-distance store (the dense
+  // backend builds the classic full table here; budgeted backends recompute
+  // rows during the sweeps below).
   common::Stopwatch offline;
   const uncertain::SampleCache cache(data.objects(), params_.samples,
                                      params_.sample_seed, eng);
-  std::vector<double> dist;
-  result.ed_evaluations +=
-      kernels::PairwiseSampleED(eng, cache, /*take_sqrt=*/true, &dist);
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::SampleED(cache);
+  PairwiseStore store(eng, kernel);
+  store.Warm();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
-  // Core distances: MinPts-th smallest distance to another object
-  // (independent per object; parallel over object blocks).
+  // Core distances: MinPts-th smallest distance to another object (one
+  // parallel row sweep through the store; per-worker scratch for the
+  // self-excluding copy).
   std::vector<double> core_dist(n, kUndefined);
-  engine::ParallelFor(eng, n, [&](const engine::BlockedRange& r) {
-    std::vector<double> row;
+  engine::PerWorker<std::vector<double>> scratch(eng);
+  store.VisitAllRows([&](std::size_t i, std::span<const double> drow) {
+    std::vector<double>& row = scratch.local();
+    row.clear();
     row.reserve(n > 0 ? n - 1 : 0);
-    for (std::size_t i = r.begin; i < r.end; ++i) {
-      row.clear();
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j != i) row.push_back(dist[i * n + j]);
-      }
-      const std::size_t rank = std::min<std::size_t>(
-          static_cast<std::size_t>(params_.min_pts), row.size());
-      if (rank == 0) continue;
-      std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
-      core_dist[i] = row[rank - 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row.push_back(drow[j]);
     }
+    const std::size_t rank = std::min<std::size_t>(
+        static_cast<std::size_t>(params_.min_pts), row.size());
+    if (rank == 0) return;
+    std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
+    core_dist[i] = row[rank - 1];
   });
 
   // OPTICS walk (eps = infinity: one complete ordering).
@@ -78,18 +81,28 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   std::vector<bool> processed(n, false);
   std::vector<std::size_t> order;
   order.reserve(n);
+  std::vector<double> walk_row;
   for (std::size_t start = 0; start < n; ++start) {
     if (processed[start]) continue;
     // Expand from `start` by always picking the unprocessed object with the
-    // smallest reachability (linear scan; the table is dense anyway).
+    // smallest reachability (linear scan over the current row).
     std::size_t current = start;
     for (;;) {
       processed[current] = true;
       order.push_back(current);
       // Relax reachability of all unprocessed objects through `current`.
+      // Zero-copy when the row is already materialized (dense table or
+      // resident tile); otherwise a single-row fetch, cache untouched —
+      // the walk order has no tile locality, so faulting whole tiles
+      // would multiply kernel work by tile_rows.
+      std::span<const double> drow = store.ResidentRow(current);
+      if (drow.empty()) {
+        store.GatherRow(current, &walk_row);
+        drow = walk_row;
+      }
       for (std::size_t j = 0; j < n; ++j) {
         if (processed[j]) continue;
-        const double r = std::max(core_dist[current], dist[current * n + j]);
+        const double r = std::max(core_dist[current], drow[j]);
         reach[j] = std::min(reach[j], r);
       }
       // Next: smallest reachability among unprocessed.
@@ -173,6 +186,9 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   result.objective = std::numeric_limits<double>::quiet_NaN();
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;
+  result.ed_evaluations += store.ed_evaluations();
+  result.pairwise_backend = PairwiseBackendName(store.backend());
+  result.table_bytes_peak = store.table_bytes_peak();
   return result;
 }
 

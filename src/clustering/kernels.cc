@@ -2,9 +2,6 @@
 
 #include <limits>
 
-#include "common/math_utils.h"
-#include "uncertain/expected_distance.h"
-
 namespace uclust::clustering::kernels {
 
 namespace {
@@ -115,34 +112,14 @@ double AssignmentObjective(const engine::Engine& eng,
   return total;
 }
 
-void PairwiseClosedFormED(const engine::Engine& eng,
-                          std::span<const uncertain::UncertainObject> objects,
-                          std::vector<double>* dist) {
-  const std::size_t n = objects.size();
+int64_t FillDenseTriangular(const engine::Engine& eng,
+                            const PairwiseKernel& kernel,
+                            std::vector<double>* dist) {
+  const std::size_t n = kernel.size();
   dist->assign(n * n, 0.0);
   double* d = dist->data();
   // Block owns rows [begin, end): entries (i, j) and (j, i) for j > i are
   // written by the block owning i, so blocks never write the same cell.
-  engine::ParallelForBlocked(
-      eng, n, TriangularRowBlock(eng, n), [&](const engine::BlockedRange& r) {
-    for (std::size_t i = r.begin; i < r.end; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double ed =
-            uncertain::ExpectedSquaredDistance(objects[i], objects[j]);
-        d[i * n + j] = ed;
-        d[j * n + i] = ed;
-      }
-    }
-  });
-}
-
-int64_t PairwiseSampleED(const engine::Engine& eng,
-                         const uncertain::SampleCache& cache, bool take_sqrt,
-                         std::vector<double>* dist) {
-  const std::size_t n = cache.size();
-  const int s_count = cache.samples_per_object();
-  dist->assign(n * n, 0.0);
-  double* d = dist->data();
   const std::vector<int64_t> evals_per_block =
       engine::MapBlocksBlocked<int64_t>(
           eng, n, TriangularRowBlock(eng, n),
@@ -150,15 +127,9 @@ int64_t PairwiseSampleED(const engine::Engine& eng,
         int64_t evals = 0;
         for (std::size_t i = r.begin; i < r.end; ++i) {
           for (std::size_t j = i + 1; j < n; ++j) {
-            double acc = 0.0;
-            for (int s = 0; s < s_count; ++s) {
-              acc += common::SquaredDistance(cache.SampleOf(i, s),
-                                             cache.SampleOf(j, s));
-            }
-            double ed = acc / s_count;
-            if (take_sqrt) ed = std::sqrt(ed);
-            d[i * n + j] = ed;
-            d[j * n + i] = ed;
+            const double v = kernel.Eval(i, j);
+            d[i * n + j] = v;
+            d[j * n + i] = v;
             ++evals;
           }
         }
@@ -169,22 +140,56 @@ int64_t PairwiseSampleED(const engine::Engine& eng,
   return total;
 }
 
-int64_t DistanceProbabilityRows(
-    const engine::Engine& eng, const uncertain::SampleCache& cache, double eps,
-    std::vector<std::vector<std::pair<std::size_t, double>>>* rows) {
-  const std::size_t n = cache.size();
-  rows->assign(n, {});
-  auto* out = rows->data();
+int64_t FillRowTile(const engine::Engine& eng, const PairwiseKernel& kernel,
+                    std::size_t row_begin, std::size_t row_end, double* out) {
+  const std::size_t n = kernel.size();
+  const std::size_t rows = row_end - row_begin;
+  // Rows cost uniformly n - 1 evaluations, so the plain linear partition
+  // balances; many small blocks still help when the tile is shallow.
+  const std::size_t block =
+      std::min<std::size_t>(eng.block_size(),
+                            rows / (static_cast<std::size_t>(
+                                        eng.num_threads()) * 4) + 1);
   const std::vector<int64_t> evals_per_block =
       engine::MapBlocksBlocked<int64_t>(
-          eng, n, TriangularRowBlock(eng, n),
+          eng, rows, block, [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t i = row_begin + t;
+          double* row = out + t * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) {
+              row[j] = 0.0;
+              continue;
+            }
+            row[j] = kernel.Eval(i, j);
+            ++evals;
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
+int64_t FillUpperRowTile(const engine::Engine& eng,
+                         const PairwiseKernel& kernel, std::size_t row_begin,
+                         std::size_t row_end, double* out) {
+  const std::size_t n = kernel.size();
+  const std::size_t rows = row_end - row_begin;
+  // Row i costs n - 1 - i, so reuse the skew-aware triangular row blocking.
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, rows, TriangularRowBlock(eng, rows),
           [&](const engine::BlockedRange& r) {
         int64_t evals = 0;
-        for (std::size_t i = r.begin; i < r.end; ++i) {
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t i = row_begin + t;
+          double* row = out + t * n;
           for (std::size_t j = i + 1; j < n; ++j) {
-            const double p = cache.DistanceProbability(i, j, eps);
+            row[j] = kernel.Eval(i, j);
             ++evals;
-            if (p > 0.0) out[i].emplace_back(j, p);
           }
         }
         return evals;

@@ -6,14 +6,25 @@
 // dispatched through the execution engine. Every kernel is bit-identical
 // for any Engine thread count (fixed block partition + ordered reduction;
 // see engine/parallel_for.h).
+//
+// The pairwise kernels are tile producers: they fill row tiles (or the
+// ragged upper-triangle rows) of a symmetric pairwise table for a
+// PairwiseKernel, so the PairwiseStore backends can materialize the table
+// fully, in LRU-cached tiles, or not at all. Every producer evaluates a
+// pair as (min(i, j), max(i, j)), which makes a given entry bit-identical
+// no matter which producer (or backend) computed it.
 #ifndef UCLUST_CLUSTERING_KERNELS_H_
 #define UCLUST_CLUSTERING_KERNELS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/math_utils.h"
 #include "engine/parallel_for.h"
+#include "uncertain/expected_distance.h"
 #include "uncertain/moments.h"
 #include "uncertain/sample_cache.h"
 #include "uncertain/uncertain_object.h"
@@ -49,26 +60,115 @@ double AssignmentObjective(const engine::Engine& eng,
                            std::span<const int> labels,
                            std::span<const double> centroids);
 
-/// Fills the symmetric n x n expected-squared-distance table from the
-/// closed form (Lemma 3). dist is resized to n*n.
-void PairwiseClosedFormED(const engine::Engine& eng,
-                          std::span<const uncertain::UncertainObject> objects,
-                          std::vector<double>* dist);
+/// A pure symmetric pairwise function over an indexed object set — the
+/// numeric basis every PairwiseStore backend materializes. Variants:
+/// the closed-form expected squared distance ED^ (Lemma 3), the matched-pair
+/// sample estimate of ED^ (optionally under a square root, the FOPTICS fuzzy
+/// distance), and the FDBSCAN distance probability Pr[dist <= eps].
+/// The referenced objects / sample cache must outlive the kernel.
+struct PairwiseKernel {
+  enum class Kind {
+    kClosedFormED2,        ///< ED^ from moments (Lemma 3); no integration.
+    kSampleED2,            ///< Matched-pair sampled ED^.
+    kSampleED,             ///< sqrt of the sampled ED^ (fuzzy distance).
+    kDistanceProbability,  ///< Pr[dist(o_i, o_j) <= eps] over sample pairs.
+  };
 
-/// Fills the symmetric n x n table of matched-pair sample estimates of the
-/// expected squared distance (take_sqrt = false) or its square root
-/// (take_sqrt = true, the FOPTICS fuzzy distance). Returns the number of
-/// sample-integrated evaluations performed (the upper triangle).
-int64_t PairwiseSampleED(const engine::Engine& eng,
-                         const uncertain::SampleCache& cache, bool take_sqrt,
-                         std::vector<double>* dist);
+  /// Closed-form ED^ over uncertain objects.
+  static PairwiseKernel ClosedFormED2(
+      std::span<const uncertain::UncertainObject> objects) {
+    PairwiseKernel k;
+    k.kind = Kind::kClosedFormED2;
+    k.objects = objects;
+    return k;
+  }
+  /// Matched-pair sample estimate of ED^ over a cache.
+  static PairwiseKernel SampleED2(const uncertain::SampleCache& cache) {
+    PairwiseKernel k;
+    k.kind = Kind::kSampleED2;
+    k.cache = &cache;
+    return k;
+  }
+  /// sqrt of the sampled ED^ (the FOPTICS fuzzy distance).
+  static PairwiseKernel SampleED(const uncertain::SampleCache& cache) {
+    PairwiseKernel k;
+    k.kind = Kind::kSampleED;
+    k.cache = &cache;
+    return k;
+  }
+  /// FDBSCAN distance probability at radius `eps`.
+  static PairwiseKernel DistanceProbability(
+      const uncertain::SampleCache& cache, double eps) {
+    PairwiseKernel k;
+    k.kind = Kind::kDistanceProbability;
+    k.cache = &cache;
+    k.eps = eps;
+    return k;
+  }
 
-/// Upper-triangle distance-probability rows: rows[i] holds (j, p) for every
-/// j > i with p = Pr[dist(o_i, o_j) <= eps] > 0 (FDBSCAN edge weights).
-/// Returns the number of probability evaluations (n*(n-1)/2).
-int64_t DistanceProbabilityRows(
-    const engine::Engine& eng, const uncertain::SampleCache& cache, double eps,
-    std::vector<std::vector<std::pair<std::size_t, double>>>* rows);
+  /// Number of objects the kernel is defined over.
+  std::size_t size() const {
+    return kind == Kind::kClosedFormED2 ? objects.size() : cache->size();
+  }
+
+  /// True when an evaluation is a sample-integrated ED computation (the
+  /// quantity ClusteringResult::ed_evaluations counts; the closed form
+  /// counts no integrations).
+  bool counts_ed_evaluations() const { return kind != Kind::kClosedFormED2; }
+
+  /// Evaluates the pair. Arguments are canonicalized to (lo, hi), so
+  /// Eval(i, j) and Eval(j, i) are the same floating-point value.
+  double Eval(std::size_t i, std::size_t j) const {
+    const std::size_t lo = std::min(i, j);
+    const std::size_t hi = std::max(i, j);
+    switch (kind) {
+      case Kind::kClosedFormED2:
+        return uncertain::ExpectedSquaredDistance(objects[lo], objects[hi]);
+      case Kind::kSampleED2:
+      case Kind::kSampleED: {
+        const int s_count = cache->samples_per_object();
+        double acc = 0.0;
+        for (int s = 0; s < s_count; ++s) {
+          acc += common::SquaredDistance(cache->SampleOf(lo, s),
+                                         cache->SampleOf(hi, s));
+        }
+        const double ed = acc / s_count;
+        return kind == Kind::kSampleED ? std::sqrt(ed) : ed;
+      }
+      case Kind::kDistanceProbability:
+        return cache->DistanceProbability(lo, hi, eps);
+    }
+    return 0.0;  // unreachable
+  }
+
+  Kind kind = Kind::kClosedFormED2;
+  std::span<const uncertain::UncertainObject> objects{};
+  const uncertain::SampleCache* cache = nullptr;
+  double eps = 0.0;
+};
+
+/// Fills the full symmetric n x n table for `kernel` (each pair evaluated
+/// once on the upper triangle and mirrored, diagonal 0) — the Dense-backend
+/// producer, preserving the classic offline-table parallel schedule and
+/// evaluation count. dist is resized to n*n. Returns n*(n-1)/2 evaluations.
+int64_t FillDenseTriangular(const engine::Engine& eng,
+                            const PairwiseKernel& kernel,
+                            std::vector<double>* dist);
+
+/// Fills the row tile [row_begin, row_end) x [0, n) for `kernel` into `out`
+/// (row-major, (row_end - row_begin) x n, diagonal entries 0). Every entry
+/// of the tile is evaluated, so a row costs n - 1 evaluations. Parallel over
+/// rows; returns the number of evaluations.
+int64_t FillRowTile(const engine::Engine& eng, const PairwiseKernel& kernel,
+                    std::size_t row_begin, std::size_t row_end, double* out);
+
+/// Fills the ragged upper-triangle rows [row_begin, row_end): entry (i, j)
+/// for j > i lands at out[(i - row_begin) * n + j]; entries j <= i are left
+/// untouched. Evaluates only the upper triangle, so a full sweep costs
+/// n*(n-1)/2 evaluations. Parallel over rows; returns the evaluation count.
+int64_t FillUpperRowTile(const engine::Engine& eng,
+                         const PairwiseKernel& kernel, std::size_t row_begin,
+                         std::size_t row_end, double* out);
 
 }  // namespace uclust::clustering::kernels
 

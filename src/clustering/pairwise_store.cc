@@ -1,0 +1,312 @@
+#include "clustering/pairwise_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace uclust::clustering {
+
+namespace {
+
+// Scratch target of streaming sweeps on backends without a configured tile
+// shape (dense-backend upper sweeps, on-the-fly sweeps): one bounded block,
+// independent of the thread count so evaluation counts stay deterministic.
+constexpr std::size_t kStreamScratchBytes = std::size_t{1} << 20;  // 1 MiB
+
+// Row-block size for the parallel visitor passes over an already-filled
+// buffer of `rows` rows. Purely a load-balancing choice; visitors own
+// row-indexed output, so the partition never affects results.
+std::size_t VisitRowBlock(const engine::Engine& eng, std::size_t rows) {
+  const std::size_t lanes = static_cast<std::size_t>(eng.num_threads());
+  const std::size_t block = rows / (lanes * 4) + 1;
+  return std::min(block, eng.block_size());
+}
+
+}  // namespace
+
+std::string PairwiseBackendName(PairwiseBackend backend) {
+  switch (backend) {
+    case PairwiseBackend::kDense:
+      return "dense";
+    case PairwiseBackend::kTiled:
+      return "tiled";
+    case PairwiseBackend::kOnTheFly:
+      return "onthefly";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The one place tile geometry is derived from a budget: ~4 tiles should fit
+// it, and the LRU capacity never exceeds it. Used by FromBudget and by the
+// constructor's zero-value fallback.
+void DeriveTileGeometry(std::size_t budget_bytes, std::size_t n,
+                        std::size_t* tile_rows,
+                        std::size_t* max_cached_tiles) {
+  const std::size_t row_bytes = std::max<std::size_t>(n, 1) * sizeof(double);
+  if (*tile_rows == 0) {
+    *tile_rows = budget_bytes > 0 ? budget_bytes / (4 * row_bytes)
+                                  : (std::size_t{1} << 20) / row_bytes;
+  }
+  *tile_rows = std::clamp<std::size_t>(*tile_rows, 1,
+                                       std::max<std::size_t>(n, 1));
+  if (*max_cached_tiles == 0) {
+    *max_cached_tiles =
+        budget_bytes > 0
+            ? std::max<std::size_t>(1,
+                                    budget_bytes / (*tile_rows * row_bytes))
+            : 4;
+  }
+}
+
+}  // namespace
+
+PairwiseStoreOptions PairwiseStoreOptions::FromBudget(std::size_t budget_bytes,
+                                                      std::size_t n) {
+  PairwiseStoreOptions o;
+  o.memory_budget_bytes = budget_bytes;
+  const std::size_t row_bytes = n * sizeof(double);
+  // Overflow-safe "n * n * sizeof(double) <= budget" (up to one row of
+  // rounding slack, which only shifts the dense/tiled boundary by < 1 row).
+  const bool dense_fits =
+      budget_bytes == 0 || n == 0 ||
+      (budget_bytes / n) / sizeof(double) >= n;
+  if (dense_fits) {
+    o.backend = PairwiseBackend::kDense;
+    return o;
+  }
+  if (budget_bytes >= 2 * row_bytes) {
+    o.backend = PairwiseBackend::kTiled;
+    DeriveTileGeometry(budget_bytes, n, &o.tile_rows, &o.max_cached_tiles);
+    return o;
+  }
+  o.backend = PairwiseBackend::kOnTheFly;
+  o.tile_rows = 1;
+  o.max_cached_tiles = 1;
+  return o;
+}
+
+PairwiseStore::PairwiseStore(const engine::Engine& eng,
+                             const kernels::PairwiseKernel& kernel,
+                             const PairwiseStoreOptions& options)
+    : eng_(eng), kernel_(kernel), options_(options), n_(kernel.size()) {
+  switch (options_.backend) {
+    case PairwiseBackend::kDense:
+      break;
+    case PairwiseBackend::kOnTheFly:
+      options_.tile_rows = 1;
+      options_.max_cached_tiles = 1;
+      break;
+    case PairwiseBackend::kTiled:
+      DeriveTileGeometry(options_.memory_budget_bytes, n_,
+                         &options_.tile_rows, &options_.max_cached_tiles);
+      break;
+  }
+}
+
+PairwiseStore::PairwiseStore(const engine::Engine& eng,
+                             const kernels::PairwiseKernel& kernel)
+    : PairwiseStore(eng, kernel,
+                    PairwiseStoreOptions::FromBudget(
+                        eng.memory_budget_bytes(), kernel.size())) {}
+
+void PairwiseStore::NoteTableBytes(std::size_t extra_scratch_bytes) {
+  const std::size_t live = dense_.size() * sizeof(double) + cache_bytes_ +
+                           extra_scratch_bytes;
+  table_bytes_peak_ = std::max(table_bytes_peak_, live);
+}
+
+void PairwiseStore::EnsureDense() {
+  if (dense_ready_) return;
+  evaluations_ += kernels::FillDenseTriangular(eng_, kernel_, &dense_);
+  dense_ready_ = true;
+  NoteTableBytes(0);
+}
+
+std::size_t PairwiseStore::TileBegin(std::size_t tile_index) const {
+  return tile_index * options_.tile_rows;
+}
+
+std::size_t PairwiseStore::TileEnd(std::size_t tile_index) const {
+  return std::min(n_, TileBegin(tile_index) + options_.tile_rows);
+}
+
+const PairwiseStore::Tile& PairwiseStore::EnsureTile(std::size_t row) {
+  const std::size_t t = row / options_.tile_rows;
+  const auto it = tile_index_.find(t);
+  if (it != tile_index_.end()) {
+    tiles_.splice(tiles_.begin(), tiles_, it->second);
+    return tiles_.front();
+  }
+  // Evict before filling so resident bytes never exceed the capacity.
+  while (tiles_.size() >= options_.max_cached_tiles) {
+    cache_bytes_ -= tiles_.back().data.size() * sizeof(double);
+    tile_index_.erase(tiles_.back().index);
+    tiles_.pop_back();
+  }
+  Tile tile;
+  tile.index = t;
+  const std::size_t r0 = TileBegin(t);
+  const std::size_t r1 = TileEnd(t);
+  tile.data.resize((r1 - r0) * n_);
+  evaluations_ += kernels::FillRowTile(eng_, kernel_, r0, r1,
+                                       tile.data.data());
+  cache_bytes_ += tile.data.size() * sizeof(double);
+  tiles_.push_front(std::move(tile));
+  tile_index_[t] = tiles_.begin();
+  NoteTableBytes(0);
+  return tiles_.front();
+}
+
+std::size_t PairwiseStore::StreamRows() const {
+  if (options_.backend == PairwiseBackend::kTiled) return options_.tile_rows;
+  const std::size_t row_bytes = std::max<std::size_t>(n_, 1) * sizeof(double);
+  // A finite budget caps the scratch block too (never below one row, the
+  // hard floor of row-granular access).
+  std::size_t target = kStreamScratchBytes;
+  if (options_.memory_budget_bytes > 0) {
+    target = std::min(target, options_.memory_budget_bytes);
+  }
+  return std::clamp<std::size_t>(target / row_bytes, 1,
+                                 std::max<std::size_t>(n_, 1));
+}
+
+void PairwiseStore::Warm() {
+  if (options_.backend == PairwiseBackend::kDense) EnsureDense();
+}
+
+std::span<const double> PairwiseStore::Row(std::size_t i) {
+  if (options_.backend == PairwiseBackend::kDense) {
+    EnsureDense();
+    return {dense_.data() + i * n_, n_};
+  }
+  const Tile& tile = EnsureTile(i);
+  return {tile.data.data() + (i - TileBegin(tile.index)) * n_, n_};
+}
+
+double PairwiseStore::Value(std::size_t i, std::size_t j) {
+  return Row(i)[j];
+}
+
+std::span<const double> PairwiseStore::ResidentRow(std::size_t i) const {
+  if (dense_ready_) return {dense_.data() + i * n_, n_};
+  if (options_.backend != PairwiseBackend::kDense) {
+    const auto it = tile_index_.find(i / options_.tile_rows);
+    if (it != tile_index_.end()) {
+      const Tile& tile = *it->second;
+      return {tile.data.data() + (i - TileBegin(tile.index)) * n_, n_};
+    }
+  }
+  return {};
+}
+
+void PairwiseStore::CopyRowInto(std::size_t i, double* dst) {
+  if (options_.backend == PairwiseBackend::kDense) EnsureDense();
+  const std::span<const double> resident = ResidentRow(i);
+  if (!resident.empty()) {
+    std::memcpy(dst, resident.data(), n_ * sizeof(double));
+    return;
+  }
+  // Fills the caller's buffer directly; the store itself materializes
+  // nothing here, so no table bytes are recorded.
+  evaluations_ += kernels::FillRowTile(eng_, kernel_, i, i + 1, dst);
+}
+
+void PairwiseStore::GatherRow(std::size_t i, std::vector<double>* out) {
+  out->resize(n_);
+  CopyRowInto(i, out->data());
+}
+
+void PairwiseStore::GatherRows(std::span<const std::size_t> rows,
+                               std::vector<double>* out) {
+  out->resize(rows.size() * n_);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    CopyRowInto(rows[r], out->data() + r * n_);
+  }
+}
+
+void PairwiseStore::VisitAllRows(const RowVisitor& fn) {
+  if (n_ == 0) return;
+  if (options_.backend == PairwiseBackend::kDense) {
+    EnsureDense();
+    const double* d = dense_.data();
+    engine::ParallelForBlocked(
+        eng_, n_, VisitRowBlock(eng_, n_), [&](const engine::BlockedRange& r) {
+          for (std::size_t i = r.begin; i < r.end; ++i) {
+            fn(i, {d + i * n_, n_});
+          }
+        });
+    return;
+  }
+  if (options_.backend == PairwiseBackend::kTiled) {
+    // Stream through the LRU cache: resident tiles are served for free, the
+    // rest fault in (and age out) in tile order.
+    const std::size_t tiles = (n_ + options_.tile_rows - 1) /
+                              options_.tile_rows;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const Tile& tile = EnsureTile(TileBegin(t));
+      const std::size_t r0 = TileBegin(t);
+      const std::size_t rows = TileEnd(t) - r0;
+      const double* d = tile.data.data();
+      engine::ParallelForBlocked(
+          eng_, rows, VisitRowBlock(eng_, rows),
+          [&](const engine::BlockedRange& r) {
+            for (std::size_t tr = r.begin; tr < r.end; ++tr) {
+              fn(r0 + tr, {d + tr * n_, n_});
+            }
+          });
+    }
+    return;
+  }
+  // kOnTheFly: bounded scratch blocks, nothing retained.
+  const std::size_t chunk = StreamRows();
+  std::vector<double> scratch(chunk * n_);
+  for (std::size_t r0 = 0; r0 < n_; r0 += chunk) {
+    const std::size_t r1 = std::min(n_, r0 + chunk);
+    evaluations_ += kernels::FillRowTile(eng_, kernel_, r0, r1,
+                                         scratch.data());
+    NoteTableBytes(scratch.size() * sizeof(double));
+    engine::ParallelForBlocked(
+        eng_, r1 - r0, VisitRowBlock(eng_, r1 - r0),
+        [&](const engine::BlockedRange& r) {
+          for (std::size_t tr = r.begin; tr < r.end; ++tr) {
+            fn(r0 + tr, {scratch.data() + tr * n_, n_});
+          }
+        });
+  }
+}
+
+void PairwiseStore::VisitUpperTriangle(const UpperVisitor& fn) {
+  if (n_ == 0) return;
+  if (dense_ready_) {
+    const double* d = dense_.data();
+    engine::ParallelForBlocked(
+        eng_, n_, VisitRowBlock(eng_, n_), [&](const engine::BlockedRange& r) {
+          for (std::size_t i = r.begin; i < r.end; ++i) {
+            fn(i, {d + i * n_ + i + 1, n_ - i - 1});
+          }
+        });
+    return;
+  }
+  // Stream ragged row blocks; each pair is evaluated exactly once and
+  // nothing enters the tile cache (a one-shot sweep must not evict tiles a
+  // caller is still iterating against).
+  const std::size_t chunk = StreamRows();
+  std::vector<double> scratch(chunk * n_);
+  for (std::size_t r0 = 0; r0 < n_; r0 += chunk) {
+    const std::size_t r1 = std::min(n_, r0 + chunk);
+    evaluations_ += kernels::FillUpperRowTile(eng_, kernel_, r0, r1,
+                                              scratch.data());
+    NoteTableBytes(scratch.size() * sizeof(double));
+    engine::ParallelForBlocked(
+        eng_, r1 - r0, VisitRowBlock(eng_, r1 - r0),
+        [&](const engine::BlockedRange& r) {
+          for (std::size_t tr = r.begin; tr < r.end; ++tr) {
+            const std::size_t i = r0 + tr;
+            fn(i, {scratch.data() + tr * n_ + i + 1, n_ - i - 1});
+          }
+        });
+  }
+}
+
+}  // namespace uclust::clustering

@@ -1,0 +1,176 @@
+// Memory-budgeted access to symmetric pairwise tables (ED^, fuzzy distance,
+// distance probability) behind one interface.
+//
+// The paper's O(n^2)-class baselines (UK-medoids, UAHC, FOPTICS) precompute
+// a dense n x n pairwise table, which caps every such workload at whatever
+// n^2 doubles fit in RAM. PairwiseStore decouples the access pattern from
+// the storage policy with three interchangeable backends:
+//
+//   kDense    — the classic full table, built once by the triangular kernel
+//               (bit-identical values, parallel schedule, and evaluation
+//               count of the original offline phase);
+//   kTiled    — row-block tiles computed on demand through the engine's
+//               blocked kernels and held in a capacity-bounded LRU cache;
+//   kOnTheFly — a single-row cache: every query recomputes its row, no
+//               table is retained.
+//
+// The backend is normally selected from EngineConfig::memory_budget_bytes
+// (0 = unlimited = dense); tests and benches can force one explicitly.
+// Invariant: because every producer evaluates a pair as (min(i, j),
+// max(i, j)) and each entry is a pure function of that pair, all three
+// backends serve bit-identical values — so every clustering built on the
+// store is identical across backends and thread counts, only memory and
+// recompute cost change.
+//
+// Thread-safety: the random-access API (Value/Row/GatherRows) is for the
+// algorithm's serial control thread; the Visit* sweeps parallelize
+// internally and invoke the visitor concurrently (one call per row — the
+// visitor owns row-indexed output slots).
+#ifndef UCLUST_CLUSTERING_PAIRWISE_STORE_H_
+#define UCLUST_CLUSTERING_PAIRWISE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/kernels.h"
+#include "engine/engine.h"
+
+namespace uclust::clustering {
+
+/// Storage policy of a PairwiseStore.
+enum class PairwiseBackend { kDense, kTiled, kOnTheFly };
+
+/// Lower-case display name ("dense", "tiled", "onthefly").
+std::string PairwiseBackendName(PairwiseBackend backend);
+
+/// Tuning of a PairwiseStore instance.
+struct PairwiseStoreOptions {
+  PairwiseBackend backend = PairwiseBackend::kDense;
+  /// The budget the backend was derived from (informational; 0 = unlimited).
+  std::size_t memory_budget_bytes = 0;
+  /// Rows per tile (kTiled; kOnTheFly pins this to 1). 0 = derive.
+  std::size_t tile_rows = 0;
+  /// LRU capacity in tiles (kTiled; kOnTheFly pins this to 1). 0 = derive.
+  std::size_t max_cached_tiles = 0;
+
+  /// Backend selection rule for an n-object table under `budget_bytes`:
+  /// unlimited or a budget the dense table fits in -> kDense; room for at
+  /// least two rows -> kTiled sized so ~4 tiles fit the budget (cache bytes
+  /// never exceed it); anything smaller -> kOnTheFly.
+  static PairwiseStoreOptions FromBudget(std::size_t budget_bytes,
+                                         std::size_t n);
+};
+
+/// One symmetric pairwise table served through a storage backend.
+class PairwiseStore {
+ public:
+  /// Store over `kernel` with explicit options. The kernel's referenced
+  /// objects / sample cache must outlive the store.
+  PairwiseStore(const engine::Engine& eng, const kernels::PairwiseKernel& kernel,
+                const PairwiseStoreOptions& options);
+  /// Store with options derived from eng.memory_budget_bytes().
+  PairwiseStore(const engine::Engine& eng,
+                const kernels::PairwiseKernel& kernel);
+
+  /// Number of objects n (the table is n x n).
+  std::size_t size() const { return n_; }
+  /// The storage policy in effect.
+  PairwiseBackend backend() const { return options_.backend; }
+  /// The options in effect (after derivation).
+  const PairwiseStoreOptions& options() const { return options_; }
+  /// Kernel evaluations performed so far (tile recomputation included).
+  int64_t evaluations() const { return evaluations_; }
+  /// Same, but 0 when the kernel is closed-form — the exact quantity
+  /// ClusteringResult::ed_evaluations accounts for.
+  int64_t ed_evaluations() const {
+    return kernel_.counts_ed_evaluations() ? evaluations_ : 0;
+  }
+  /// Peak bytes of materialized table storage (dense table, cached tiles,
+  /// and streaming scratch) held at any one time.
+  std::size_t table_bytes_peak() const { return table_bytes_peak_; }
+
+  /// Builds whatever the backend precomputes (kDense: the full table;
+  /// kTiled/kOnTheFly: nothing). Call inside the offline timing phase to
+  /// keep the paper's offline/online accounting for the dense path.
+  void Warm();
+
+  /// Entry (i, j). Serial API; may fault in a tile.
+  double Value(std::size_t i, std::size_t j);
+  /// Row i as a length-n span. Serial API; the span is invalidated by the
+  /// next non-const call on the store.
+  std::span<const double> Row(std::size_t i);
+  /// Row i as a zero-copy span when it is already materialized (dense table
+  /// or resident tile); an empty span otherwise. Never computes, never
+  /// touches the LRU order; the span is invalidated by the next tile fault
+  /// or eviction.
+  std::span<const double> ResidentRow(std::size_t i) const;
+  /// Copies row i into `out` (resized to n) WITHOUT faulting a tile:
+  /// a dense table or resident tile is read back, anything else computes
+  /// only row i and leaves the cache untouched. The right primitive for
+  /// random-access row walks (the OPTICS ordering, NN-chain tips, medoid
+  /// gathers) whose locality would otherwise multiply kernel work by
+  /// tile_rows on the tiled backend.
+  void GatherRow(std::size_t i, std::vector<double>* out);
+  /// Materializes the given rows (in order) into `out`, row-major
+  /// rows.size() x n, via GatherRow (no tile faults).
+  void GatherRows(std::span<const std::size_t> rows, std::vector<double>* out);
+
+  /// Visitor for one full row: (row index, length-n span).
+  using RowVisitor = std::function<void(std::size_t, std::span<const double>)>;
+  /// Visits every row 0..n-1 exactly once. Parallel: the visitor is invoked
+  /// concurrently for different rows. kDense reads the table; kTiled streams
+  /// through the LRU cache (reusing resident tiles); kOnTheFly streams
+  /// bounded scratch blocks.
+  void VisitAllRows(const RowVisitor& fn);
+
+  /// Visitor for the strict upper-triangle tail of row i: the span covers
+  /// entries (i, i+1..n-1), i.e. tail[t] = value(i, i + 1 + t).
+  using UpperVisitor = RowVisitor;
+  /// Visits every upper-triangle row exactly once, evaluating each pair once
+  /// (n*(n-1)/2 evaluations on a cold store). Streams bounded scratch blocks
+  /// on every backend — nothing is retained — unless a dense table is
+  /// already materialized, in which case it is read back directly.
+  void VisitUpperTriangle(const UpperVisitor& fn);
+
+ private:
+  struct Tile {
+    std::size_t index = 0;
+    std::vector<double> data;
+  };
+
+  void EnsureDense();
+  /// Returns the cached tile holding `row`, faulting + evicting as needed.
+  const Tile& EnsureTile(std::size_t row);
+  /// GatherRow into a raw length-n destination.
+  void CopyRowInto(std::size_t i, double* dst);
+  std::size_t TileBegin(std::size_t tile_index) const;
+  std::size_t TileEnd(std::size_t tile_index) const;
+  /// Rows per streaming scratch block (bounded, >= 1).
+  std::size_t StreamRows() const;
+  void NoteTableBytes(std::size_t live_bytes);
+
+  engine::Engine eng_;
+  kernels::PairwiseKernel kernel_;
+  PairwiseStoreOptions options_;
+  std::size_t n_ = 0;
+  int64_t evaluations_ = 0;
+  std::size_t table_bytes_peak_ = 0;
+
+  // kDense state.
+  std::vector<double> dense_;
+  bool dense_ready_ = false;
+
+  // kTiled / kOnTheFly state: most-recently-used tile first.
+  std::list<Tile> tiles_;
+  std::unordered_map<std::size_t, std::list<Tile>::iterator> tile_index_;
+  std::size_t cache_bytes_ = 0;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_PAIRWISE_STORE_H_

@@ -5,8 +5,9 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
 
-#include "clustering/kernels.h"
+#include "clustering/pairwise_store.h"
 #include "common/stopwatch.h"
 
 namespace uclust::clustering {
@@ -18,11 +19,14 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   ClusteringResult result;
   result.k_requested = k;
 
-  // Offline: pairwise ED^ table (closed form, Lemma 3), computed in
-  // parallel over row blocks through the shared kernel.
+  // Offline: the pairwise ED^ store (closed form, Lemma 3). The dense
+  // backend materializes the classic full table here; budgeted backends
+  // recompute singleton-singleton rows on demand during the merge loop.
   common::Stopwatch offline;
-  std::vector<double> dist;
-  kernels::PairwiseClosedFormED(engine(), data.objects(), &dist);
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(data.objects());
+  PairwiseStore store(engine(), kernel);
+  store.Warm();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
@@ -34,6 +38,14 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   // dendrogram is therefore built first (n - 1 recorded merges), and the
   // k-cluster partition is obtained by replaying the n - k lowest-height
   // merges — exactly the greedy UPGMA cut.
+  //
+  // Distance bookkeeping: base (singleton-singleton) ED^ values are read
+  // straight from the store; only clusters that are merge products carry an
+  // explicit distance row, kept in the `merged` overlay and updated by the
+  // Lance-Williams recurrence exactly as the classic in-place table was.
+  // The value sequence is therefore bit-identical to the dense-table
+  // algorithm on every backend, while table memory stays at one overlay row
+  // per alive non-singleton cluster.
   struct Merge {
     std::size_t a;
     std::size_t b;
@@ -47,12 +59,35 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   chain.reserve(n);
   std::size_t remaining = n;
 
+  // Overlay rows of merge-product clusters. mrow[u] points at u's row (the
+  // vector buffers are heap-stable); nullptr marks a singleton whose row is
+  // the store's base row. Symmetry invariant: whenever u and v both carry
+  // overlay rows, mrow[u][v] == mrow[v][u] — exactly the mirrored writes of
+  // the classic in-place table.
+  std::unordered_map<std::size_t, std::vector<double>> merged;
+  std::vector<double*> mrow(n, nullptr);
+
+  std::vector<double> near_row;
   auto nearest = [&](std::size_t u) {
     std::size_t best = n;
     double best_d = std::numeric_limits<double>::infinity();
+    const double* row_u = mrow[u];
+    if (row_u == nullptr) {
+      // Zero-copy when materialized; otherwise a single-row fetch (NN-chain
+      // tips have no tile locality, so faulting whole tiles would multiply
+      // kernel work by tile_rows). The span stays valid through this scan:
+      // nothing below touches the store.
+      const std::span<const double> resident = store.ResidentRow(u);
+      if (!resident.empty()) {
+        row_u = resident.data();
+      } else {
+        store.GatherRow(u, &near_row);
+        row_u = near_row.data();
+      }
+    }
     for (std::size_t v = 0; v < n; ++v) {
       if (v == u || !alive[v]) continue;
-      const double d = dist[u * n + v];
+      const double d = !mrow[u] && mrow[v] ? mrow[v][u] : row_u[v];
       if (d < best_d) {
         best_d = d;
         best = v;
@@ -61,6 +96,8 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
     return std::pair<std::size_t, double>(best, best_d);
   };
 
+  std::vector<double> row_a(n, 0.0);
+  std::vector<double> row_b(n, 0.0);
   while (remaining > 1) {
     if (chain.empty()) {
       for (std::size_t u = 0; u < n; ++u) {
@@ -84,13 +121,38 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
         merges.push_back({a, b, nn_d});
         const double sa = static_cast<double>(sizes[a]);
         const double sb = static_cast<double>(sizes[b]);
+        // Snapshot both operand rows before touching the overlay (b's
+        // overlay row is about to be dropped). A snapshot of a singleton
+        // operand is its base row; entries against merged u are patched
+        // from u's overlay row below.
+        const bool a_was_merged = mrow[a] != nullptr;
+        const bool b_was_merged = mrow[b] != nullptr;
+        if (a_was_merged) {
+          std::copy_n(mrow[a], n, row_a.begin());
+        } else {
+          store.GatherRow(a, &row_a);
+        }
+        if (b_was_merged) {
+          std::copy_n(mrow[b], n, row_b.begin());
+        } else {
+          store.GatherRow(b, &row_b);
+        }
+        if (!a_was_merged) {
+          mrow[a] = merged.emplace(a, std::vector<double>(n, 0.0))
+                        .first->second.data();
+        }
         for (std::size_t u = 0; u < n; ++u) {
           if (!alive[u] || u == a || u == b) continue;
-          const double d =
-              (sa * dist[u * n + a] + sb * dist[u * n + b]) / (sa + sb);
-          dist[u * n + a] = d;
-          dist[a * n + u] = d;
+          const double dua =
+              mrow[u] && !a_was_merged ? mrow[u][a] : row_a[u];
+          const double dub =
+              mrow[u] && !b_was_merged ? mrow[u][b] : row_b[u];
+          const double d = (sa * dua + sb * dub) / (sa + sb);
+          mrow[a][u] = d;
+          if (mrow[u]) mrow[u][a] = d;
         }
+        merged.erase(b);
+        mrow[b] = nullptr;
         sizes[a] += sizes[b];
         alive[b] = false;
         --remaining;
@@ -128,6 +190,8 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   result.objective = std::numeric_limits<double>::quiet_NaN();
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;
+  result.pairwise_backend = PairwiseBackendName(store.backend());
+  result.table_bytes_peak = store.table_bytes_peak();
   return result;
 }
 

@@ -3,10 +3,17 @@
 //
 // This implementation uses group-average (UPGMA) linkage over the closed-
 // form expected squared distance ED^ (Lemma 3) with the NN-chain algorithm,
-// preserving the O(n^2)-memory / O(n^2 m)-time cost class and the merge
-// behaviour the paper's efficiency study exercises; the original's
-// information-theoretic dissimilarity is approximated by ED^ (documented in
-// DESIGN.md section 8). The dendrogram is cut when k clusters remain.
+// preserving the O(n^2 m)-time cost class and the merge behaviour the
+// paper's efficiency study exercises; the original's information-theoretic
+// dissimilarity is approximated by ED^ (documented in DESIGN.md section 8).
+// The dendrogram is cut when k clusters remain.
+//
+// Memory model: base ED^ values are read through clustering::PairwiseStore
+// (dense / tiled / on-the-fly, selected by EngineConfig::
+// memory_budget_bytes), and Lance-Williams updates live in an overlay that
+// holds one distance row per alive merge-product cluster — the classic
+// dense working table exists only under the dense backend. Clusterings are
+// bit-identical across backends.
 #ifndef UCLUST_CLUSTERING_UAHC_H_
 #define UCLUST_CLUSTERING_UAHC_H_
 

@@ -2,13 +2,13 @@
 
 #include <cassert>
 #include <limits>
+#include <optional>
 
 #include "clustering/init.h"
-#include "clustering/kernels.h"
+#include "clustering/pairwise_store.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
-#include "uncertain/expected_distance.h"
 #include "uncertain/sample_cache.h"
 
 namespace uclust::clustering {
@@ -23,17 +23,20 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   ClusteringResult result;
   result.k_requested = k;
 
-  // Offline phase: the full pairwise ED^ table.
+  // Offline phase: the pairwise ED^ store. The dense backend precomputes the
+  // classic full table here; the budgeted backends defer (re)computation to
+  // the per-iteration sweeps below.
   common::Stopwatch offline;
-  std::vector<double> dist;
-  if (params_.use_closed_form) {
-    kernels::PairwiseClosedFormED(eng, data.objects(), &dist);
-  } else {
-    const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                       params_.sample_seed, eng);
-    result.ed_evaluations +=
-        kernels::PairwiseSampleED(eng, cache, /*take_sqrt=*/false, &dist);
+  std::optional<uncertain::SampleCache> cache;
+  if (!params_.use_closed_form) {
+    cache.emplace(data.objects(), params_.samples, params_.sample_seed, eng);
   }
+  const kernels::PairwiseKernel kernel =
+      params_.use_closed_form
+          ? kernels::PairwiseKernel::ClosedFormED2(data.objects())
+          : kernels::PairwiseKernel::SampleED2(*cache);
+  PairwiseStore store(eng, kernel);
+  store.Warm();
   result.offline_ms = offline.ElapsedMs();
 
   // Online phase: PAM-style alternation.
@@ -42,11 +45,15 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   result.labels.assign(n, -1);
   std::vector<std::vector<std::size_t>> members(k);
   std::vector<std::size_t> best_medoid(k);
+  std::vector<double> med_rows;  // k x n: row c = d(medoids[c], .)
+  std::vector<double> cand_cost(n, 0.0);
 
   for (result.iterations = 0; result.iterations < params_.max_iters;
        ++result.iterations) {
-    // Assignment to the nearest medoid (parallel over object blocks; the
-    // change counter reduces over blocks in order).
+    // Assignment to the nearest medoid: materialize the k medoid rows
+    // through the store, then sweep objects in parallel blocks (the change
+    // counter reduces over blocks in order).
+    store.GatherRows(medoids, &med_rows);
     const std::vector<std::size_t> changed_per_block =
         engine::MapBlocks<std::size_t>(
             eng, n, [&](const engine::BlockedRange& r) {
@@ -55,7 +62,7 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
                 int best = 0;
                 double best_d = std::numeric_limits<double>::infinity();
                 for (int c = 0; c < k; ++c) {
-                  const double d = dist[i * n + medoids[c]];
+                  const double d = med_rows[static_cast<std::size_t>(c) * n + i];
                   if (d < best_d) {
                     best_d = d;
                     best = c;
@@ -77,27 +84,27 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
     if (changed == 0 && result.iterations > 0) break;
 
     // Update: each cluster's medoid minimizes the total ED^ to its members.
-    // Non-empty clusters are independent (parallel over clusters); empty
-    // clusters re-seed serially afterwards so the rng draw order does not
-    // depend on the thread count.
-    engine::ParallelForBlocked(
-        eng, static_cast<std::size_t>(k), 1, [&](const engine::BlockedRange& r) {
-          for (std::size_t c = r.begin; c < r.end; ++c) {
-            best_medoid[c] = medoids[c];
-            if (members[c].empty()) continue;
-            double best_cost = std::numeric_limits<double>::infinity();
-            for (std::size_t cand : members[c]) {
-              double cost = 0.0;
-              for (std::size_t other : members[c]) {
-                cost += dist[cand * n + other];
-              }
-              if (cost < best_cost) {
-                best_cost = cost;
-                best_medoid[c] = cand;
-              }
-            }
-          }
-        });
+    // One parallel row sweep scores every object as a candidate medoid of
+    // its own cluster (members are ascending, so the per-candidate sum order
+    // is fixed); the serial argmin below keeps first-minimum tie-breaking.
+    store.VisitAllRows([&](std::size_t i, std::span<const double> row) {
+      double cost = 0.0;
+      for (std::size_t other : members[result.labels[i]]) {
+        cost += row[other];
+      }
+      cand_cost[i] = cost;
+    });
+    for (int c = 0; c < k; ++c) {
+      best_medoid[c] = medoids[c];
+      if (members[c].empty()) continue;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t cand : members[c]) {
+        if (cand_cost[cand] < best_cost) {
+          best_cost = cand_cost[cand];
+          best_medoid[c] = cand;
+        }
+      }
+    }
     bool medoid_moved = false;
     for (int c = 0; c < k; ++c) {
       if (members[c].empty()) {
@@ -114,11 +121,16 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   }
 
   // Objective: total ED^ between objects and their medoids.
+  store.GatherRows(medoids, &med_rows);
   result.objective = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    result.objective += dist[i * n + medoids[result.labels[i]]];
+    const std::size_t c = static_cast<std::size_t>(result.labels[i]);
+    result.objective += med_rows[c * n + i];
   }
   result.online_ms = online.ElapsedMs();
+  result.ed_evaluations += store.ed_evaluations();
+  result.pairwise_backend = PairwiseBackendName(store.backend());
+  result.table_bytes_peak = store.table_bytes_peak();
   result.clusters_found = CountClusters(result.labels);
   return result;
 }

@@ -1,10 +1,16 @@
 // UK-medoids (Gullo, Ponti & Tagarelli, SUM 2008): K-medoids (PAM-style)
-// over pairwise expected distances between uncertain objects. As in the
-// original, the pairwise ED table is precomputed in an offline phase (the
-// paper excludes it from the timed online phase); by default the EDs are
-// integrated numerically over Monte-Carlo samples, reproducing the published
-// cost profile, with an optional closed-form mode (Lemma 3) this library
-// adds on top.
+// over pairwise expected distances between uncertain objects. By default the
+// EDs are integrated numerically over Monte-Carlo samples, reproducing the
+// published cost profile, with an optional closed-form mode (Lemma 3) this
+// library adds on top.
+//
+// Pairwise access goes through clustering::PairwiseStore. Under the default
+// unlimited memory budget the full ED table is precomputed in the offline
+// phase exactly as in the original (the paper excludes it from the timed
+// online phase); under a finite EngineConfig::memory_budget_bytes the
+// assignment and swap sweeps instead fault in row tiles (LRU-cached) or
+// recompute rows on the fly, bounding table memory at any n while producing
+// bit-identical clusterings.
 #ifndef UCLUST_CLUSTERING_UKMEDOIDS_H_
 #define UCLUST_CLUSTERING_UKMEDOIDS_H_
 

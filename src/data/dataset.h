@@ -35,8 +35,13 @@ struct DeterministicDataset {
 
 /// Uniform subsample without replacement of at most `max_n` points
 /// (keeps labels; returns a copy when the dataset is already small enough).
-/// Used by the bench harness to run O(n^2)-class baselines at feasible
-/// sizes.
+/// Used by the bench harness to keep O(n^2)-time baselines within a time
+/// budget and to mirror the paper's evaluation sizes. It is no longer a
+/// memory necessity for the table itself: the pairwise consumers access
+/// ED^ through clustering::PairwiseStore, whose tiled / on-the-fly
+/// backends (selected via EngineConfig::memory_budget_bytes) bound the
+/// table memory at any n (UAHC additionally keeps a merge overlay of one
+/// row per alive merge-product cluster; see uahc.h).
 DeterministicDataset Subsample(const DeterministicDataset& dataset,
                                std::size_t max_n, uint64_t seed);
 

@@ -9,6 +9,7 @@ namespace uclust::engine {
 
 Engine::Engine(const EngineConfig& config) {
   block_size_ = std::max<std::size_t>(config.block_size, 1);
+  memory_budget_bytes_ = config.memory_budget_bytes;
   int threads = config.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -27,6 +28,12 @@ EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
   config.num_threads = static_cast<int>(args.GetInt("threads", 1));
   config.block_size =
       static_cast<std::size_t>(args.GetInt("block_size", 1024));
+  config.memory_budget_bytes = static_cast<std::size_t>(
+      args.GetInt("memory_budget_mb", 0)) * (std::size_t{1} << 20);
+  if (args.Has("memory_budget_bytes")) {
+    config.memory_budget_bytes =
+        static_cast<std::size_t>(args.GetInt("memory_budget_bytes", 0));
+  }
   return config;
 }
 

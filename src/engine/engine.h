@@ -34,6 +34,12 @@ struct EngineConfig {
   /// Objects per block in blocked-range loops. Fixed block boundaries are
   /// what make reductions independent of the thread count.
   std::size_t block_size = 1024;
+  /// Upper bound on the bytes a pairwise table may materialize at once.
+  /// 0 = unlimited (dense n x n tables, the classic behavior). A finite
+  /// budget makes every PairwiseStore consumer (UK-medoids, UAHC, FOPTICS,
+  /// FDBSCAN) switch to tiled or on-the-fly ED^ access, trading recompute
+  /// for bounded memory; clusterings are bit-identical either way.
+  std::size_t memory_budget_bytes = 0;
 };
 
 /// Copyable handle bundling an EngineConfig with a (shared) thread pool.
@@ -54,15 +60,20 @@ class Engine {
   }
   /// Block size for blocked-range loops (>= 1).
   std::size_t block_size() const { return block_size_; }
+  /// Pairwise-table memory budget in bytes (0 = unlimited).
+  std::size_t memory_budget_bytes() const { return memory_budget_bytes_; }
   /// The pool, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
  private:
   std::size_t block_size_ = 1024;
+  std::size_t memory_budget_bytes_ = 0;
   std::shared_ptr<ThreadPool> pool_;
 };
 
-/// Reads `--threads=N` (0 = auto) and `--block_size=B` from parsed flags.
+/// Reads `--threads=N` (0 = auto), `--block_size=B`, and
+/// `--memory_budget_bytes=B` (or the `--memory_budget_mb=M` convenience
+/// form; bytes win when both are given, 0 = unlimited) from parsed flags.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

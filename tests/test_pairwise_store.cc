@@ -1,0 +1,243 @@
+// PairwiseStore backend contract: Dense, Tiled, and OnTheFly must serve
+// bit-identical ED^ values, every pairwise consumer must produce identical
+// clusterings under any memory budget, the Tiled LRU must actually evict
+// (and recompute) under a tiny budget, and peak table memory must respect
+// the configured budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "clustering/foptics.h"
+#include "clustering/fdbscan.h"
+#include "clustering/pairwise_store.h"
+#include "clustering/uahc.h"
+#include "clustering/ukmedoids.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "engine/engine.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+namespace {
+
+data::UncertainDataset TestDataset(std::size_t n, std::size_t m, int classes,
+                                   uint64_t seed) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = m;
+  params.classes = classes;
+  const data::DeterministicDataset d =
+      data::MakeGaussianMixture(params, seed, "pairwise");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+PairwiseStoreOptions Explicit(PairwiseBackend backend, std::size_t tile_rows,
+                              std::size_t max_tiles) {
+  PairwiseStoreOptions o;
+  o.backend = backend;
+  o.tile_rows = tile_rows;
+  o.max_cached_tiles = max_tiles;
+  return o;
+}
+
+TEST(PairwiseStore, BackendsServeBitIdenticalValues) {
+  const auto ds = TestDataset(61, 3, 3, 11);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const uncertain::SampleCache cache(ds.objects(), 12, 0x5eed, eng);
+  const kernels::PairwiseKernel kernels_under_test[] = {
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects()),
+      kernels::PairwiseKernel::SampleED2(cache),
+      kernels::PairwiseKernel::SampleED(cache),
+      kernels::PairwiseKernel::DistanceProbability(cache, 0.3),
+  };
+  for (const auto& kernel : kernels_under_test) {
+    PairwiseStore dense(eng, kernel,
+                        Explicit(PairwiseBackend::kDense, 0, 0));
+    PairwiseStore tiled(eng, kernel,
+                        Explicit(PairwiseBackend::kTiled, 7, 2));
+    PairwiseStore fly(eng, kernel,
+                      Explicit(PairwiseBackend::kOnTheFly, 0, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double want = i == j ? 0.0 : kernel.Eval(i, j);
+        ASSERT_EQ(dense.Value(i, j), want) << i << "," << j;
+        ASSERT_EQ(tiled.Value(i, j), want) << i << "," << j;
+        ASSERT_EQ(fly.Value(i, j), want) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(PairwiseStore, SweepsMatchRandomAccess) {
+  const auto ds = TestDataset(40, 2, 2, 13);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  PairwiseStore reference(eng, kernel,
+                          Explicit(PairwiseBackend::kDense, 0, 0));
+  for (PairwiseBackend backend :
+       {PairwiseBackend::kDense, PairwiseBackend::kTiled,
+        PairwiseBackend::kOnTheFly}) {
+    PairwiseStore store(eng, kernel, Explicit(backend, 5, 2));
+    std::vector<double> from_rows(n * n, -1.0);
+    store.VisitAllRows([&](std::size_t i, std::span<const double> row) {
+      for (std::size_t j = 0; j < n; ++j) from_rows[i * n + j] = row[j];
+    });
+    std::vector<double> from_upper(n * n, 0.0);
+    store.VisitUpperTriangle([&](std::size_t i,
+                                 std::span<const double> tail) {
+      for (std::size_t t = 0; t < tail.size(); ++t) {
+        from_upper[i * n + i + 1 + t] = tail[t];
+        from_upper[(i + 1 + t) * n + i] = tail[t];
+      }
+    });
+    std::vector<std::size_t> some_rows = {0, n / 2, n - 1, 3};
+    std::vector<double> gathered;
+    store.GatherRows(some_rows, &gathered);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(from_rows[i * n + j], reference.Value(i, j))
+            << PairwiseBackendName(backend) << " " << i << "," << j;
+        ASSERT_EQ(from_upper[i * n + j], reference.Value(i, j))
+            << PairwiseBackendName(backend) << " " << i << "," << j;
+      }
+    }
+    for (std::size_t r = 0; r < some_rows.size(); ++r) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(gathered[r * n + j], reference.Value(some_rows[r], j));
+      }
+    }
+  }
+}
+
+TEST(PairwiseStore, LruEvictsAndRecomputesUnderTinyCapacity) {
+  const auto ds = TestDataset(32, 2, 2, 17);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  // 4 tiles of 8 rows; only 2 may stay resident.
+  PairwiseStore store(eng, kernel, Explicit(PairwiseBackend::kTiled, 8, 2));
+  const std::size_t tile_bytes = 8 * n * sizeof(double);
+
+  const double v0 = store.Value(0, 5);
+  const int64_t evals_tile0 = store.evaluations();
+  EXPECT_EQ(evals_tile0, 8 * static_cast<int64_t>(n - 1));
+  store.Value(0, 6);  // tile 0 resident: no recompute
+  EXPECT_EQ(store.evaluations(), evals_tile0);
+
+  store.Value(8, 0);   // tile 1 faults in
+  store.Value(16, 0);  // tile 2 faults in, evicting tile 0 (LRU)
+  const int64_t evals_three_tiles = store.evaluations();
+  EXPECT_EQ(evals_three_tiles, 3 * evals_tile0);
+
+  // Tile 0 was evicted: touching it again must recompute the same value.
+  EXPECT_EQ(store.Value(0, 5), v0);
+  EXPECT_EQ(store.evaluations(), 4 * evals_tile0);
+
+  // Tile 2 stayed resident through the re-fault of tile 0 (it was the MRU
+  // survivor), so touching it is free.
+  store.Value(16, 3);
+  EXPECT_EQ(store.evaluations(), 4 * evals_tile0);
+
+  // Never more than two resident tiles' worth of bytes.
+  EXPECT_LE(store.table_bytes_peak(), 2 * tile_bytes);
+  EXPECT_GE(store.table_bytes_peak(), tile_bytes);
+}
+
+TEST(PairwiseStore, BudgetSelectsBackendAndBoundsPeak) {
+  const std::size_t n = 128;
+  const std::size_t row_bytes = n * sizeof(double);
+  EXPECT_EQ(PairwiseStoreOptions::FromBudget(0, n).backend,
+            PairwiseBackend::kDense);
+  EXPECT_EQ(PairwiseStoreOptions::FromBudget(n * n * sizeof(double), n)
+                .backend,
+            PairwiseBackend::kDense);
+  const PairwiseStoreOptions tiled =
+      PairwiseStoreOptions::FromBudget(16 * row_bytes, n);
+  EXPECT_EQ(tiled.backend, PairwiseBackend::kTiled);
+  EXPECT_LE(tiled.max_cached_tiles * tiled.tile_rows * row_bytes,
+            16 * row_bytes);
+  EXPECT_EQ(PairwiseStoreOptions::FromBudget(1, n).backend,
+            PairwiseBackend::kOnTheFly);
+
+  // A tiled store driven hard stays under its budget.
+  const auto ds = TestDataset(n, 2, 2, 19);
+  const engine::Engine eng;
+  PairwiseStore store(eng, kernels::PairwiseKernel::ClosedFormED2(
+                               ds.objects()),
+                      PairwiseStoreOptions::FromBudget(16 * row_bytes, n));
+  for (std::size_t i = 0; i < n; i += 3) store.Row(i);
+  store.VisitAllRows([](std::size_t, std::span<const double>) {});
+  EXPECT_LE(store.table_bytes_peak(), 16 * row_bytes);
+}
+
+// Identical clusterings across backends, selected through the engine's
+// memory_budget_bytes knob exactly as production call sites do. Budgets:
+// 0 = unlimited (dense), a few rows (tiled), 1 byte (on-the-fly).
+TEST(PairwiseStore, ConsumersProduceIdenticalClusteringsAcrossBackends) {
+  const auto ds = TestDataset(120, 3, 3, 23);
+  const std::size_t row_bytes = ds.size() * sizeof(double);
+  const std::size_t budgets[] = {0, 12 * row_bytes, 1};
+  const char* expected_backend[] = {"dense", "tiled", "onthefly"};
+
+  const auto run = [&](Clusterer* algo, std::size_t budget) {
+    engine::EngineConfig config;
+    config.num_threads = 1;
+    config.block_size = 32;
+    config.memory_budget_bytes = budget;
+    algo->set_engine(engine::Engine(config));
+    return algo->Cluster(ds, 3, 7);
+  };
+
+  UkMedoids::Params mp;
+  mp.use_closed_form = true;
+  UkMedoids medoids_closed(mp);
+  UkMedoids medoids_sampled;
+  Uahc uahc;
+  Foptics foptics;
+  Fdbscan fdbscan;
+  Clusterer* algos[] = {&medoids_closed, &medoids_sampled, &uahc, &foptics,
+                        &fdbscan};
+  for (Clusterer* algo : algos) {
+    const ClusteringResult baseline = run(algo, budgets[0]);
+    EXPECT_EQ(baseline.pairwise_backend, expected_backend[0]) << algo->name();
+    for (int b = 1; b < 3; ++b) {
+      const ClusteringResult out = run(algo, budgets[b]);
+      EXPECT_EQ(out.pairwise_backend, expected_backend[b]) << algo->name();
+      EXPECT_EQ(out.labels, baseline.labels)
+          << algo->name() << " budget=" << budgets[b];
+      EXPECT_EQ(out.iterations, baseline.iterations) << algo->name();
+      EXPECT_EQ(out.clusters_found, baseline.clusters_found) << algo->name();
+      if (!std::isnan(baseline.objective)) {
+        EXPECT_EQ(out.objective, baseline.objective) << algo->name();
+      }
+      if (budgets[b] > 1) {
+        EXPECT_LE(out.table_bytes_peak, budgets[b])
+            << algo->name() << " exceeded its memory budget";
+      }
+    }
+    // Dense materializes the full O(n^2) table — except FDBSCAN, whose
+    // upper-triangle sweep streams bounded scratch on every backend.
+    if (algo->name() != "FDBSCAN") {
+      EXPECT_EQ(baseline.table_bytes_peak,
+                ds.size() * ds.size() * sizeof(double))
+          << algo->name();
+    } else {
+      // Bounded streaming scratch (covers the whole table only when n is
+      // small enough that it fits in one ~1 MiB chunk, as here).
+      EXPECT_LE(baseline.table_bytes_peak,
+                ds.size() * ds.size() * sizeof(double))
+          << algo->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uclust::clustering

@@ -108,6 +108,46 @@ TEST(ParallelDeterminism, SampleCacheContentsBitIdentical) {
   }
 }
 
+// The Tiled PairwiseStore backend (engine memory budget smaller than the
+// dense table) must preserve the whole-registry determinism contract:
+// labels, objective, iterations, and ED evaluation counts independent of
+// the thread count. The pairwise consumers (UK-medoids, UAHC, FOPTICS,
+// FDBSCAN) exercise tile faulting and LRU reuse; the moment-kernel
+// algorithms simply ignore the budget.
+TEST(ParallelDeterminism, TiledBackendBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(140, 3, 3, 41);
+  // ~10 rows of budget: far below the 140 x 140 dense table, so every
+  // pairwise consumer runs tiled.
+  const std::size_t budget = 10 * ds.size() * sizeof(double);
+  const auto make = [&](const std::string& name, int threads) {
+    engine::EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 32;
+    config.memory_budget_bytes = budget;
+    return MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+  };
+  for (const std::string& name :
+       {std::string("UK-medoids"), std::string("UAHC"),
+        std::string("FOPTICS"), std::string("FDBSCAN")}) {
+    const ClusteringResult baseline = make(name, 1)->Cluster(ds, 3, 13);
+    EXPECT_EQ(baseline.pairwise_backend, "tiled") << name;
+    for (int threads : {2, 8}) {
+      const ClusteringResult out = make(name, threads)->Cluster(ds, 3, 13);
+      EXPECT_EQ(out.labels, baseline.labels) << name << " threads=" << threads;
+      EXPECT_EQ(out.iterations, baseline.iterations)
+          << name << " threads=" << threads;
+      EXPECT_EQ(out.ed_evaluations, baseline.ed_evaluations)
+          << name << " threads=" << threads;
+      EXPECT_EQ(out.table_bytes_peak, baseline.table_bytes_peak)
+          << name << " threads=" << threads;
+      if (!std::isnan(baseline.objective)) {
+        EXPECT_EQ(out.objective, baseline.objective)
+            << name << " threads=" << threads;
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminism, EveryRegisteredAlgorithmMatchesSerial) {
   // End-to-end sweep over the registry (pruned variants, medoids, density
   // methods included): labels and objective must not depend on the thread
