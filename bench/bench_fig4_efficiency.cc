@@ -17,6 +17,8 @@
 //   --scale=F       fast-group dataset scale in (0,1]    (default 0.5)
 //   --slow_cap=N    slower-group subsample cap           (default 1200)
 //   --genes=N       gene count for the real datasets     (default 3000)
+//   --dataset=PATH  additionally time all algorithms on a binary dataset
+//                   file (see src/io/); k is the file's class count
 //   --seed=S        master seed                          (default 1)
 #include <cstdio>
 #include <memory>
@@ -37,6 +39,7 @@
 #include "data/microarray_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
+#include "io/dataset_reader.h"
 
 namespace {
 
@@ -116,6 +119,22 @@ int main(int argc, char** argv) {
         data::MakeMicroarrayByName(spec.name, seed, gscale).ValueOrDie();
     auto small = full.Subsampled(slow_cap, seed + 3);
     workloads.push_back({spec.name, std::move(full), std::move(small), 5});
+  }
+  // Optional file-backed workload: the object-backed (slow group) timings
+  // need resident pdfs, so this loads the file fully — moment-only streaming
+  // at scale is fig5's --dataset mode.
+  if (const std::string dataset_path = args.GetString("dataset", "");
+      !dataset_path.empty()) {
+    auto loaded = io::ReadUncertainDataset(dataset_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "fig4: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto full = std::move(loaded).ValueOrDie();
+    const int file_k = full.num_classes() > 1 ? full.num_classes() : 5;
+    auto small = full.Subsampled(slow_cap, seed + 4);
+    workloads.push_back(
+        {full.name(), std::move(full), std::move(small), file_k});
   }
 
   // The two groups of Figure 4, all running on one shared engine.

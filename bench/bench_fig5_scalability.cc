@@ -12,6 +12,10 @@
 // BENCH_fig5_scalability.json (see --json_out).
 //
 // Flags:
+//   --dataset=PATH    file-backed mode: sweep prefixes of a binary dataset
+//                     (see src/io/) streamed through DatasetBuilder instead
+//                     of the synthetic KDD generator; k is taken from the
+//                     file's class count (default: generate synthetically)
 //   --base_n=N        100% dataset size          (default 100000)
 //   --runs=N          timed repetitions per cell (default 1)
 //   --threads=N       engine threads for the sweep; 0 = hardware (default 1)
@@ -26,6 +30,7 @@
 //                     skips it)
 //   --pairwise_budget_mb=M  tiled-backend budget   (default 4)
 //   --seed=S          master seed                (default 1)
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,6 +47,8 @@
 #include "data/kdd_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
+#include "io/ingest.h"
+#include "uncertain/moments.h"
 
 namespace {
 using namespace uclust;  // NOLINT: bench brevity
@@ -92,7 +99,8 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string json_out =
       args.GetString("json_out", "BENCH_fig5_scalability.json");
-  const int k = 23;
+  const std::string dataset_path = args.GetString("dataset", "");
+  int k = 23;
 
   const engine::EngineConfig engine_config = engine::EngineConfigFromArgs(args);
   const engine::Engine eng(engine_config);
@@ -101,6 +109,37 @@ int main(int argc, char** argv) {
       static_cast<int>(args.GetInt("speedup_threads", 0));
   const engine::Engine speedup_eng(speedup_config);
   const engine::Engine serial_eng;
+
+  // File-backed mode: stream the file's moments once through the bounded-
+  // memory ingestion path; the fraction sweep below then slices row
+  // prefixes of the streamed matrix.
+  uncertain::MomentMatrix file_mm;
+  std::size_t sweep_dims = 42;
+  if (!dataset_path.empty()) {
+    std::vector<int> file_labels;
+    auto streamed = io::StreamMomentsFromFile(
+        dataset_path, eng, uncertain::DatasetBuilder::kDefaultBatchSize,
+        &file_labels);
+    if (!streamed.ok()) {
+      std::fprintf(stderr, "fig5: %s\n", streamed.status().ToString().c_str());
+      return 1;
+    }
+    file_mm = std::move(streamed).ValueOrDie();
+    sweep_dims = file_mm.dims();
+    int max_label = -1;
+    for (int label : file_labels) max_label = std::max(max_label, label);
+    if (max_label >= 1) k = max_label + 1;
+    // Unlabeled / single-class / tiny files: keep k within [2, n] (the
+    // moment kernels require n >= k, enforced by assert only).
+    k = std::max(2, std::min<int>(k, static_cast<int>(file_mm.size())));
+    if (file_mm.size() < 2) {
+      std::fprintf(stderr, "fig5: dataset %s has fewer than 2 objects\n",
+                   dataset_path.c_str());
+      return 1;
+    }
+    std::printf("[file-backed: %s, n=%zu m=%zu k=%d]\n", dataset_path.c_str(),
+                file_mm.size(), file_mm.dims(), k);
+  }
 
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;
@@ -112,31 +151,55 @@ int main(int argc, char** argv) {
   json.KV("bench", "fig5_scalability");
   json.Key("config");
   json.BeginObject();
-  json.KV("base_n", base_n);
+  json.KV("base_n", dataset_path.empty() ? base_n : file_mm.size());
+  json.KV("dataset", dataset_path);
   json.KV("runs", runs);
   json.KV("seed", static_cast<int64_t>(seed));
   json.KV("k", k);
-  json.KV("m", 42);
+  json.KV("m", sweep_dims);
   json.KV("threads", eng.num_threads());
   json.KV("block_size", eng.block_size());
   json.EndObject();
 
-  std::printf("=== Figure 5: scalability on the KDD-like dataset "
-              "(base n=%zu, m=42, k=23, runs=%d, threads=%d) ===\n\n",
-              base_n, runs, eng.num_threads());
+  std::printf("=== Figure 5: scalability on the %s dataset "
+              "(base n=%zu, m=%zu, k=%d, runs=%d, threads=%d) ===\n\n",
+              dataset_path.empty() ? "KDD-like" : "file-backed",
+              dataset_path.empty() ? base_n : file_mm.size(), sweep_dims, k,
+              runs, eng.num_threads());
   std::printf("%8s %10s | %12s %12s %12s\n", "fraction", "n", "UK-means",
               "MMVar", "UCPC");
   json.Key("results");
   json.BeginArray();
   uncertain::MomentMatrix largest_mm;
   for (double frac : fractions) {
-    data::KddLikeParams params;
-    params.n = std::max<std::size_t>(
-        static_cast<std::size_t>(k),
-        static_cast<std::size_t>(static_cast<double>(base_n) * frac));
-    std::vector<int> labels;
-    uncertain::MomentMatrix mm =
-        data::MakeKddLikeMoments(params, up, seed, &labels);
+    uncertain::MomentMatrix mm;
+    if (!dataset_path.empty()) {
+      if (frac == 1.00) {
+        // The 100% cell is the whole file; moving (the loop's last use of
+        // file_mm) avoids doubling the O(n m) moment columns.
+        mm = std::move(file_mm);
+      } else {
+        // Row prefix of the streamed file moments.
+        const std::size_t want = std::max<std::size_t>(
+            static_cast<std::size_t>(k),
+            static_cast<std::size_t>(static_cast<double>(file_mm.size()) *
+                                     frac));
+        const std::size_t prefix_n = std::min(want, file_mm.size());
+        uncertain::MomentMatrix prefix(prefix_n, file_mm.dims());
+        for (std::size_t i = 0; i < prefix_n; ++i) {
+          prefix.AppendRow(file_mm.mean(i), file_mm.second_moment(i),
+                           file_mm.variance(i));
+        }
+        mm = std::move(prefix);
+      }
+    } else {
+      data::KddLikeParams params;
+      params.n = std::max<std::size_t>(
+          static_cast<std::size_t>(k),
+          static_cast<std::size_t>(static_cast<double>(base_n) * frac));
+      std::vector<int> labels;
+      mm = data::MakeKddLikeMoments(params, up, seed, &labels);
+    }
 
     Timing ukm, mmv, ucpc;
     TimeFastGroup(mm, k, runs, seed, eng, &ukm, &mmv, &ucpc);

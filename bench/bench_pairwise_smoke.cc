@@ -5,13 +5,20 @@
 // `ulimit -v`:
 //
 //   --memory_budget_bytes=0   -> dense backend, expected to die on the
-//                                table allocation (the job asserts the
-//                                non-zero exit);
+//                                table allocation;
 //   --memory_budget_bytes=64M -> tiled backend, expected to finish and to
 //                                keep peak table bytes within the budget.
 //
-// Exit code: 0 on success, 1 when the run violates its own budget or
-// produces a degenerate clustering.
+// Every terminal outcome is reported through one machine-readable marker so
+// CI can grep for the expected state instead of inspecting bare exit codes
+// (an unrelated crash — segfault, assert — emits no marker and therefore
+// cannot masquerade as the expected OOM):
+//
+//   [pairwise smoke] RESULT=OOM   allocation failure (std::bad_alloc)
+//   [pairwise smoke] RESULT=OK    clustered within its own budget
+//   [pairwise smoke] RESULT=FAIL  clustered but violated budget/shape checks
+//
+// Exit code: 0 for OK, 1 for FAIL, 3 for OOM.
 //
 // Flags:
 //   --n=N                      objects               (default 20000)
@@ -23,6 +30,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 
 #include "bench_util.h"
 #include "clustering/ukmedoids.h"
@@ -31,7 +39,9 @@
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   using namespace uclust;  // NOLINT: bench brevity
   const common::ArgParser args(argc, argv);
   const std::size_t n = static_cast<std::size_t>(args.GetInt("n", 20000));
@@ -77,6 +87,7 @@ int main(int argc, char** argv) {
   if (r.clusters_found < 1 ||
       r.labels.size() != ds.size()) {
     std::fprintf(stderr, "degenerate clustering\n");
+    std::printf("[pairwise smoke] RESULT=FAIL\n");
     return 1;
   }
   // One row is the hard floor of row-granular access (see
@@ -86,8 +97,21 @@ int main(int argc, char** argv) {
   if (config.memory_budget_bytes > 0 && r.table_bytes_peak > budget_floor) {
     std::fprintf(stderr, "table peak %zu exceeded the %zu-byte budget\n",
                  r.table_bytes_peak, budget_floor);
+    std::printf("[pairwise smoke] RESULT=FAIL\n");
     return 1;
   }
-  std::printf("[pairwise smoke] OK\n");
+  std::printf("[pairwise smoke] RESULT=OK\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::bad_alloc&) {
+    std::printf("[pairwise smoke] RESULT=OOM\n");
+    std::fflush(stdout);
+    return 3;
+  }
 }

@@ -80,7 +80,10 @@ class UncertainDataset {
   /// Number of reference classes (0 when unlabeled).
   int num_classes() const { return num_classes_; }
 
-  /// Packs (and caches) the moment statistics of all objects.
+  /// Packs (and caches) the moment statistics of all objects. Internally the
+  /// resident objects are fed through uncertain::DatasetBuilder — the same
+  /// bounded-memory ingestion path file-backed datasets use (see
+  /// io/ingest.h) — so both paths produce bit-identical matrices.
   const uncertain::MomentMatrix& moments() const;
 
   /// Uniform subsample without replacement of at most `max_n` objects.

@@ -1,0 +1,289 @@
+#include "io/dataset_reader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "io/binary_format.h"
+#include "uncertain/dirac_pdf.h"
+#include "uncertain/discrete_pdf.h"
+#include "uncertain/exponential_pdf.h"
+#include "uncertain/normal_pdf.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust::io {
+
+namespace {
+
+// Bounds-checked cursor over one object record's bytes.
+class RecordCursor {
+ public:
+  RecordCursor(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Get(T* out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Smallest half-width the normal reconstruction accepts: well below it,
+// 2*Phi(c) - 1 underflows to exactly 0 and the truncated-variance formula
+// would silently produce -inf from a corrupt file.
+constexpr double kMinNormalHalfWidth = 1e-12;
+
+// Tolerance on a stored discrete weight sum: the writer persists normalized
+// weights, so any legitimate file sums to 1 within a few ulps.
+constexpr double kWeightSumTolerance = 1e-6;
+
+// Deserializes one pdf record; returns nullptr on malformed input (truncated
+// payload or parameters outside the constructors' domains — non-finite
+// values included, so corrupt files are rejected rather than mis-parsed).
+uncertain::PdfPtr GetPdf(RecordCursor* cur) {
+  uint8_t tag = 0;
+  if (!cur->Get(&tag)) return nullptr;
+  switch (tag) {
+    case kPdfDirac: {
+      double x = 0.0;
+      if (!cur->Get(&x) || !std::isfinite(x)) return nullptr;
+      return uncertain::DiracPdf::Make(x);
+    }
+    case kPdfUniform: {
+      double lo = 0.0, hi = 0.0;
+      if (!cur->Get(&lo) || !cur->Get(&hi) || !std::isfinite(lo) ||
+          !std::isfinite(hi) || !(lo < hi)) {
+        return nullptr;
+      }
+      return std::make_shared<uncertain::UniformPdf>(lo, hi);
+    }
+    case kPdfNormal: {
+      double mu = 0.0, sigma = 0.0, c = 0.0;
+      if (!cur->Get(&mu) || !cur->Get(&sigma) || !cur->Get(&c) ||
+          !std::isfinite(mu) || !std::isfinite(sigma) || !std::isfinite(c) ||
+          !(sigma > 0.0) || !(c >= kMinNormalHalfWidth)) {
+        return nullptr;
+      }
+      return uncertain::TruncatedNormalPdf::FromHalfWidth(mu, sigma, c);
+    }
+    case kPdfExponential: {
+      double w = 0.0, rate = 0.0;
+      if (!cur->Get(&w) || !cur->Get(&rate) || !std::isfinite(w) ||
+          !std::isfinite(rate) || !(rate > 0.0)) {
+        return nullptr;
+      }
+      return uncertain::TruncatedExponentialPdf::Make(w, rate);
+    }
+    case kPdfDiscrete: {
+      uint32_t count = 0;
+      if (!cur->Get(&count) || count == 0) return nullptr;
+      // The record must physically hold count values + count weights;
+      // checking before allocating keeps an untrusted count field from
+      // triggering a huge allocation (which a CI ulimit run would
+      // misreport as the expected OOM).
+      if (static_cast<std::size_t>(count) * 2 * sizeof(double) >
+          cur->remaining()) {
+        return nullptr;
+      }
+      std::vector<double> values(count), weights(count);
+      for (double& v : values) {
+        if (!cur->Get(&v) || !std::isfinite(v)) return nullptr;
+      }
+      double sum = 0.0;
+      for (double& w : weights) {
+        if (!cur->Get(&w) || !std::isfinite(w) || !(w > 0.0)) return nullptr;
+        sum += w;
+      }
+      if (std::fabs(sum - 1.0) > kWeightSumTolerance) return nullptr;
+      return uncertain::DiscretePdf::FromNormalized(std::move(values),
+                                                    std::move(weights));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+BinaryDatasetReader::~BinaryDatasetReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+common::Status BinaryDatasetReader::Corrupt(const std::string& msg) const {
+  return common::Status::IOError(path_ + ": " + msg);
+}
+
+common::Status BinaryDatasetReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return common::Status::InvalidArgument("reader is already open");
+  }
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return common::Status::IOError("cannot open " + path);
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Corrupt("cannot seek");
+  const long end = std::ftell(file_);
+  if (end < 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Corrupt("cannot determine file size");
+  }
+  file_size_ = static_cast<uint64_t>(end);
+
+  unsigned char header[kHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return Corrupt("file too short for a dataset header");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a uclust binary dataset)");
+  }
+  uint32_t endian = 0, version = 0, flags = 0, name_len = 0;
+  uint64_t n = 0, dims = 0;
+  int32_t num_classes = 0;
+  std::memcpy(&endian, header + 8, sizeof(endian));
+  std::memcpy(&version, header + 12, sizeof(version));
+  std::memcpy(&n, header + 16, sizeof(n));
+  std::memcpy(&dims, header + 24, sizeof(dims));
+  std::memcpy(&num_classes, header + 32, sizeof(num_classes));
+  std::memcpy(&flags, header + 36, sizeof(flags));
+  std::memcpy(&labels_offset_, header + 40, sizeof(labels_offset_));
+  std::memcpy(&name_len, header + 48, sizeof(name_len));
+  if (endian == kEndianTagSwapped) {
+    return Corrupt("file was written on an opposite-endian machine");
+  }
+  if (endian != kEndianTag) {
+    return Corrupt("bad endianness canary (corrupt header)");
+  }
+  if (version == 0 || version > kFormatVersion) {
+    return Corrupt("unsupported format version " + std::to_string(version) +
+                   " (reader supports up to " +
+                   std::to_string(kFormatVersion) + ")");
+  }
+  if (dims == 0) return Corrupt("header declares zero dimensions");
+  if (num_classes < 0) return Corrupt("header declares negative num_classes");
+  // Every object record occupies at least 4 (length prefix) + 9*dims (the
+  // smallest pdf record is a tagged Dirac) bytes, so a header whose n/dims
+  // cannot physically fit the file is rejected up front — consumers may
+  // then size allocations from these fields without re-validating.
+  if (n > file_size_ || dims > file_size_ ||
+      static_cast<unsigned __int128>(n) * (4 + 9 * dims) >
+          static_cast<unsigned __int128>(file_size_)) {
+    return Corrupt("header object count/dims inconsistent with file size");
+  }
+  has_labels_ = (flags & kFlagHasLabels) != 0;
+  if (has_labels_ && labels_offset_ < kHeaderBytes + name_len) {
+    return Corrupt("labels offset points into the header");
+  }
+  if (kHeaderBytes + static_cast<uint64_t>(name_len) > file_size_) {
+    return Corrupt("header name length inconsistent with file size");
+  }
+  n_ = static_cast<std::size_t>(n);
+  dims_ = static_cast<std::size_t>(dims);
+  num_classes_ = num_classes;
+  name_.resize(name_len);
+  if (name_len > 0 &&
+      std::fread(name_.data(), 1, name_len, file_) != name_len) {
+    return Corrupt("file too short for the dataset name");
+  }
+  cursor_ = 0;
+  return common::Status::Ok();
+}
+
+common::Status BinaryDatasetReader::ReadBatch(
+    std::size_t max, std::vector<uncertain::UncertainObject>* out) {
+  if (file_ == nullptr) {
+    return common::Status::InvalidArgument("reader is not open");
+  }
+  if (max == 0) return common::Status::InvalidArgument("max must be > 0");
+  out->clear();
+  const std::size_t count = std::min(max, remaining());
+  out->reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    uint32_t payload = 0;
+    if (std::fread(&payload, sizeof(payload), 1, file_) != 1) {
+      return Corrupt("truncated file: missing record length for object " +
+                     std::to_string(cursor_));
+    }
+    if (payload > file_size_) {
+      // Bounds-check the untrusted length before allocating: a corrupt
+      // record must surface as an error, not as an attempted huge alloc.
+      return Corrupt("object record " + std::to_string(cursor_) +
+                     " declares more bytes than the file holds");
+    }
+    record_buf_.resize(payload);
+    if (payload > 0 &&
+        std::fread(record_buf_.data(), 1, payload, file_) != payload) {
+      return Corrupt("truncated file: short object record " +
+                     std::to_string(cursor_));
+    }
+    RecordCursor cur(record_buf_.data(), record_buf_.size());
+    std::vector<uncertain::PdfPtr> pdfs;
+    pdfs.reserve(dims_);
+    for (std::size_t j = 0; j < dims_; ++j) {
+      uncertain::PdfPtr pdf = GetPdf(&cur);
+      if (pdf == nullptr) {
+        return Corrupt("malformed pdf record in object " +
+                       std::to_string(cursor_));
+      }
+      pdfs.push_back(std::move(pdf));
+    }
+    if (!cur.exhausted()) {
+      return Corrupt("trailing bytes in object record " +
+                     std::to_string(cursor_));
+    }
+    out->emplace_back(std::move(pdfs));
+    ++cursor_;
+  }
+  return common::Status::Ok();
+}
+
+common::Status BinaryDatasetReader::ReadLabels(std::vector<int>* labels) {
+  if (file_ == nullptr) {
+    return common::Status::InvalidArgument("reader is not open");
+  }
+  labels->clear();
+  if (!has_labels_) return common::Status::Ok();
+  const long saved = std::ftell(file_);
+  if (saved < 0) return Corrupt("ftell failed");
+  if (std::fseek(file_, static_cast<long>(labels_offset_), SEEK_SET) != 0) {
+    return Corrupt("cannot seek to labels column");
+  }
+  std::vector<int32_t> raw(n_);
+  if (n_ > 0 && std::fread(raw.data(), sizeof(int32_t), n_, file_) != n_) {
+    return Corrupt("truncated labels column");
+  }
+  labels->assign(raw.begin(), raw.end());
+  if (std::fseek(file_, saved, SEEK_SET) != 0) {
+    return Corrupt("cannot restore stream position");
+  }
+  return common::Status::Ok();
+}
+
+common::Result<data::UncertainDataset> ReadUncertainDataset(
+    const std::string& path) {
+  BinaryDatasetReader reader;
+  UCLUST_RETURN_NOT_OK(reader.Open(path));
+  std::vector<uncertain::UncertainObject> objects;
+  // reader.size() is validated against the physical file size on Open, so
+  // this reserve is bounded; cap it anyway — growth is geometric beyond.
+  objects.reserve(std::min<std::size_t>(reader.size(), 1u << 20));
+  std::vector<uncertain::UncertainObject> batch;
+  while (reader.remaining() > 0) {
+    UCLUST_RETURN_NOT_OK(reader.ReadBatch(4096, &batch));
+    for (auto& o : batch) objects.push_back(std::move(o));
+  }
+  std::vector<int> labels;
+  UCLUST_RETURN_NOT_OK(reader.ReadLabels(&labels));
+  return data::UncertainDataset(reader.name(), std::move(objects),
+                                std::move(labels), reader.num_classes());
+}
+
+}  // namespace uclust::io

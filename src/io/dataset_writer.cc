@@ -1,0 +1,178 @@
+#include "io/dataset_writer.h"
+
+#include <cstring>
+
+#include "io/binary_format.h"
+#include "uncertain/dirac_pdf.h"
+#include "uncertain/discrete_pdf.h"
+#include "uncertain/exponential_pdf.h"
+#include "uncertain/normal_pdf.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust::io {
+
+namespace {
+
+// Appends the native (little-endian; enforced by the header canary) bytes of
+// a POD value to `out`.
+template <typename T>
+void PutRaw(std::vector<unsigned char>* out, T value) {
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+// Serializes one per-dimension pdf as a tag + constructor-exact parameters.
+common::Status PutPdf(std::vector<unsigned char>* out,
+                      const uncertain::Pdf& pdf) {
+  if (const auto* p = dynamic_cast<const uncertain::DiracPdf*>(&pdf)) {
+    PutRaw<uint8_t>(out, kPdfDirac);
+    PutRaw(out, p->mean());
+    return common::Status::Ok();
+  }
+  if (const auto* p = dynamic_cast<const uncertain::UniformPdf*>(&pdf)) {
+    PutRaw<uint8_t>(out, kPdfUniform);
+    PutRaw(out, p->lower());
+    PutRaw(out, p->upper());
+    return common::Status::Ok();
+  }
+  if (const auto* p =
+          dynamic_cast<const uncertain::TruncatedNormalPdf*>(&pdf)) {
+    PutRaw<uint8_t>(out, kPdfNormal);
+    PutRaw(out, p->mu());
+    PutRaw(out, p->sigma());
+    PutRaw(out, p->half_width_sigmas());
+    return common::Status::Ok();
+  }
+  if (const auto* p =
+          dynamic_cast<const uncertain::TruncatedExponentialPdf*>(&pdf)) {
+    PutRaw<uint8_t>(out, kPdfExponential);
+    PutRaw(out, p->mean());
+    PutRaw(out, p->rate());
+    return common::Status::Ok();
+  }
+  if (const auto* p = dynamic_cast<const uncertain::DiscretePdf*>(&pdf)) {
+    PutRaw<uint8_t>(out, kPdfDiscrete);
+    PutRaw(out, static_cast<uint32_t>(p->values().size()));
+    for (double v : p->values()) PutRaw(out, v);
+    for (double w : p->weights()) PutRaw(out, w);
+    return common::Status::Ok();
+  }
+  return common::Status::InvalidArgument(
+      std::string("pdf type has no binary serialization: ") + pdf.TypeName());
+}
+
+}  // namespace
+
+BinaryDatasetWriter::~BinaryDatasetWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+common::Status BinaryDatasetWriter::Fail(const std::string& msg) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return common::Status::IOError(path_ + ": " + msg);
+}
+
+common::Status BinaryDatasetWriter::Open(const std::string& path,
+                                         std::size_t dims,
+                                         const std::string& name,
+                                         int num_classes, bool with_labels) {
+  if (file_ != nullptr) {
+    return common::Status::InvalidArgument("writer is already open");
+  }
+  if (dims == 0) {
+    return common::Status::InvalidArgument("dims must be > 0");
+  }
+  if (with_labels != (num_classes > 0)) {
+    return common::Status::InvalidArgument(
+        "num_classes must be > 0 exactly when labels are written");
+  }
+  path_ = path;
+  dims_ = dims;
+  with_labels_ = with_labels;
+  written_ = 0;
+  labels_.clear();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return common::Status::IOError("cannot create " + path);
+
+  std::vector<unsigned char> header;
+  header.reserve(kHeaderBytes + name.size());
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  PutRaw(&header, kEndianTag);
+  PutRaw(&header, kFormatVersion);
+  PutRaw<uint64_t>(&header, 0);  // n, patched by Finish()
+  PutRaw<uint64_t>(&header, dims);
+  PutRaw<int32_t>(&header, num_classes);
+  PutRaw<uint32_t>(&header, with_labels ? kFlagHasLabels : 0);
+  PutRaw<uint64_t>(&header, 0);  // labels_offset, patched by Finish()
+  PutRaw<uint32_t>(&header, static_cast<uint32_t>(name.size()));
+  header.resize(kHeaderBytes, 0);  // reserved
+  header.insert(header.end(), name.begin(), name.end());
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return Fail("short write on header");
+  }
+  return common::Status::Ok();
+}
+
+common::Status BinaryDatasetWriter::Append(
+    const uncertain::UncertainObject& object, int label) {
+  if (file_ == nullptr) {
+    return common::Status::InvalidArgument("writer is not open");
+  }
+  if (object.dims() != dims_) {
+    return common::Status::InvalidArgument(
+        "object has " + std::to_string(object.dims()) + " dims, file has " +
+        std::to_string(dims_));
+  }
+  if (with_labels_ && label < 0) {
+    return common::Status::InvalidArgument(
+        "labeled file requires label >= 0 for every object");
+  }
+  record_buf_.clear();
+  for (std::size_t j = 0; j < dims_; ++j) {
+    UCLUST_RETURN_NOT_OK(PutPdf(&record_buf_, object.pdf(j)));
+  }
+  const uint32_t payload = static_cast<uint32_t>(record_buf_.size());
+  if (std::fwrite(&payload, sizeof(payload), 1, file_) != 1 ||
+      std::fwrite(record_buf_.data(), 1, record_buf_.size(), file_) !=
+          record_buf_.size()) {
+    return Fail("short write on object record");
+  }
+  if (with_labels_) labels_.push_back(label);
+  ++written_;
+  return common::Status::Ok();
+}
+
+common::Status BinaryDatasetWriter::Finish() {
+  if (file_ == nullptr) {
+    return common::Status::InvalidArgument("writer is not open");
+  }
+  uint64_t labels_offset = 0;
+  if (with_labels_) {
+    const long pos = std::ftell(file_);
+    if (pos < 0) return Fail("ftell failed");
+    labels_offset = static_cast<uint64_t>(pos);
+    if (!labels_.empty() &&
+        std::fwrite(labels_.data(), sizeof(int32_t), labels_.size(), file_) !=
+            labels_.size()) {
+      return Fail("short write on labels column");
+    }
+  }
+  // Patch n (offset 16) and labels_offset (offset 40); see binary_format.h.
+  const uint64_t n = written_;
+  if (std::fseek(file_, 16, SEEK_SET) != 0 ||
+      std::fwrite(&n, sizeof(n), 1, file_) != 1 ||
+      std::fseek(file_, 40, SEEK_SET) != 0 ||
+      std::fwrite(&labels_offset, sizeof(labels_offset), 1, file_) != 1) {
+    return Fail("failed to patch header");
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return common::Status::IOError(path_ + ": close failed");
+  return common::Status::Ok();
+}
+
+}  // namespace uclust::io

@@ -1,0 +1,62 @@
+// Streaming writer for the binary dataset format (see binary_format.h).
+//
+// Objects are appended one at a time and serialized immediately, so the
+// writer's memory footprint is O(m) per object plus the O(n) label column it
+// retains for the Finish() footer — datasets far larger than RAM can be
+// produced in one pass (see tools/dataset_gen.cc).
+#ifndef UCLUST_IO_DATASET_WRITER_H_
+#define UCLUST_IO_DATASET_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::io {
+
+/// Writes one dataset file. Usage: Open() once, Append() n times, Finish()
+/// (which seals the header; a file without Finish() is invalid).
+class BinaryDatasetWriter {
+ public:
+  BinaryDatasetWriter() = default;
+  ~BinaryDatasetWriter();
+
+  BinaryDatasetWriter(const BinaryDatasetWriter&) = delete;
+  BinaryDatasetWriter& operator=(const BinaryDatasetWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the provisional header.
+  /// `with_labels` fixes whether Append() calls carry labels; `num_classes`
+  /// must be > 0 iff labels are written.
+  common::Status Open(const std::string& path, std::size_t dims,
+                      const std::string& name, int num_classes,
+                      bool with_labels);
+
+  /// Serializes one object (dims must match Open()). `label` is required
+  /// (>= 0) when the file carries labels and ignored otherwise.
+  common::Status Append(const uncertain::UncertainObject& object,
+                        int label = -1);
+
+  /// Writes the labels column, patches n and the label offset into the
+  /// header, and closes the file.
+  common::Status Finish();
+
+  /// Objects appended so far.
+  std::size_t written() const { return written_; }
+
+ private:
+  common::Status Fail(const std::string& msg);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t dims_ = 0;
+  bool with_labels_ = false;
+  std::size_t written_ = 0;
+  std::vector<int32_t> labels_;
+  std::vector<unsigned char> record_buf_;  // reused per-object scratch
+};
+
+}  // namespace uclust::io
+
+#endif  // UCLUST_IO_DATASET_WRITER_H_

@@ -1,0 +1,33 @@
+#include "io/ingest.h"
+
+namespace uclust::io {
+
+std::span<const uncertain::UncertainObject> FileObjectSource::NextBatch(
+    std::size_t max) {
+  if (!status_.ok() || reader_->remaining() == 0) return {};
+  status_ = reader_->ReadBatch(max, &batch_);
+  if (!status_.ok()) return {};
+  return batch_;
+}
+
+common::Result<uncertain::MomentMatrix> StreamMomentsFromFile(
+    const std::string& path, const engine::Engine& eng,
+    std::size_t batch_size, std::vector<int>* labels,
+    std::string* dataset_name) {
+  BinaryDatasetReader reader;
+  UCLUST_RETURN_NOT_OK(reader.Open(path));
+  FileObjectSource source(&reader);
+  uncertain::MomentMatrix mm =
+      uncertain::DatasetBuilder::BuildMoments(&source, eng, batch_size);
+  UCLUST_RETURN_NOT_OK(source.status());
+  if (mm.size() != reader.size()) {
+    return common::Status::Internal(
+        path + ": ingested " + std::to_string(mm.size()) + " of " +
+        std::to_string(reader.size()) + " objects");
+  }
+  if (labels != nullptr) UCLUST_RETURN_NOT_OK(reader.ReadLabels(labels));
+  if (dataset_name != nullptr) *dataset_name = reader.name();
+  return mm;
+}
+
+}  // namespace uclust::io

@@ -1,0 +1,56 @@
+// File-backed streaming ingestion: binary dataset file -> MomentMatrix in
+// one bounded-memory pass.
+//
+// FileObjectSource adapts BinaryDatasetReader to the ObjectSource interface
+// consumed by uncertain::DatasetBuilder, so file-backed and in-memory
+// datasets share one ingestion path and produce bit-identical moments for
+// any batch size and engine thread count (tests/test_io.cc). Peak memory is
+// the O(n m) moment columns plus one batch of pdf objects — raw samples and
+// pdf parameters of the full dataset are never resident at once.
+#ifndef UCLUST_IO_INGEST_H_
+#define UCLUST_IO_INGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "io/dataset_reader.h"
+#include "uncertain/dataset_builder.h"
+#include "uncertain/moments.h"
+
+namespace uclust::io {
+
+/// ObjectSource over an open BinaryDatasetReader; holds exactly one batch of
+/// deserialized objects at a time.
+class FileObjectSource final : public uncertain::ObjectSource {
+ public:
+  /// `reader` must outlive the source and have a validated header.
+  explicit FileObjectSource(BinaryDatasetReader* reader) : reader_(reader) {}
+
+  /// Error state of the underlying stream; check once draining is done
+  /// (NextBatch has no error channel, so read failures end the stream
+  /// early and are reported here).
+  const common::Status& status() const { return status_; }
+
+  std::span<const uncertain::UncertainObject> NextBatch(
+      std::size_t max) override;
+
+ private:
+  BinaryDatasetReader* reader_;
+  std::vector<uncertain::UncertainObject> batch_;
+  common::Status status_;
+};
+
+/// Streams `path` into moment statistics with O(batch) resident pdf objects.
+/// `labels`/`dataset_name` (optional) receive the file's labels column and
+/// stored name.
+common::Result<uncertain::MomentMatrix> StreamMomentsFromFile(
+    const std::string& path,
+    const engine::Engine& eng = engine::Engine::Serial(),
+    std::size_t batch_size = uncertain::DatasetBuilder::kDefaultBatchSize,
+    std::vector<int>* labels = nullptr, std::string* dataset_name = nullptr);
+
+}  // namespace uclust::io
+
+#endif  // UCLUST_IO_INGEST_H_

@@ -1,0 +1,72 @@
+#include "uncertain/dataset_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "engine/parallel_for.h"
+
+namespace uclust::uncertain {
+
+ObjectSource::~ObjectSource() = default;
+
+std::span<const UncertainObject> VectorObjectSource::NextBatch(
+    std::size_t max) {
+  assert(max > 0);
+  const std::size_t count = std::min(max, objects_.size() - cursor_);
+  const auto batch = objects_.subspan(cursor_, count);
+  cursor_ += count;
+  return batch;
+}
+
+void DatasetBuilder::AddBatch(std::span<const UncertainObject> batch) {
+  if (batch.empty()) return;
+  if (m_ == 0) m_ = batch[0].dims();
+  const std::size_t base = n_;
+  n_ += batch.size();
+  mean_.resize(n_ * m_);
+  mu2_.resize(n_ * m_);
+  var_.resize(n_ * m_);
+  total_var_.resize(n_);
+  engine::ParallelFor(engine_, batch.size(),
+                      [&](const engine::BlockedRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const UncertainObject& o = batch[i];
+      assert(o.dims() == m_);
+      const std::size_t row = (base + i) * m_;
+      std::copy(o.mean().begin(), o.mean().end(), mean_.begin() + row);
+      std::copy(o.second_moment().begin(), o.second_moment().end(),
+                mu2_.begin() + row);
+      std::copy(o.variance().begin(), o.variance().end(), var_.begin() + row);
+      // Summed in dimension order, matching MomentMatrix::AppendRow (the
+      // object's cached total_variance() is the same sum; recomputing here
+      // keeps the bit-identity contract independent of that cache).
+      double tv = 0.0;
+      for (std::size_t j = 0; j < m_; ++j) tv += var_[row + j];
+      total_var_[base + i] = tv;
+    }
+  });
+}
+
+void DatasetBuilder::Consume(ObjectSource* source, std::size_t batch_size) {
+  assert(source != nullptr && batch_size > 0);
+  for (;;) {
+    const auto batch = source->NextBatch(batch_size);
+    if (batch.empty()) break;
+    AddBatch(batch);
+  }
+}
+
+MomentMatrix DatasetBuilder::Build() {
+  return MomentMatrix::FromColumns(n_, m_, std::move(mean_), std::move(mu2_),
+                                   std::move(var_), std::move(total_var_));
+}
+
+MomentMatrix DatasetBuilder::BuildMoments(ObjectSource* source,
+                                          const engine::Engine& eng,
+                                          std::size_t batch_size) {
+  DatasetBuilder builder(eng);
+  builder.Consume(source, batch_size);
+  return builder.Build();
+}
+
+}  // namespace uclust::uncertain

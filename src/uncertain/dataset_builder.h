@@ -1,0 +1,101 @@
+// Bounded-memory moment ingestion (the streaming form of Algorithm 1's
+// "Line 1" precomputation).
+//
+// The fast algorithms (UK-means, MMVar, UCPC) consume only the MomentMatrix,
+// so a dataset never needs to be resident as pdf objects: a DatasetBuilder
+// consumes uncertain objects batch-by-batch — from any ObjectSource — and
+// packs their first/second moments and variances incrementally. Peak memory
+// is O(n m) for the moment columns plus O(batch) for the objects in flight,
+// independent of how large the raw dataset (file) is.
+//
+// Determinism contract: the produced MomentMatrix is bit-identical to
+// MomentMatrix::FromObjects over the same object sequence, for ANY batch
+// partition and ANY engine thread count (rows land at absolute offsets; the
+// per-row total-variance sum always runs in dimension order).
+#ifndef UCLUST_UNCERTAIN_DATASET_BUILDER_H_
+#define UCLUST_UNCERTAIN_DATASET_BUILDER_H_
+
+#include <span>
+#include <vector>
+
+#include "engine/engine.h"
+#include "uncertain/moments.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::uncertain {
+
+/// A producer of uncertain objects in sequence, consumed batch-by-batch.
+/// Implementations: VectorObjectSource (the classic in-memory path) and
+/// io::FileObjectSource (streaming reads of the binary dataset format).
+class ObjectSource {
+ public:
+  virtual ~ObjectSource();
+
+  /// Hands out the next batch of at most `max` objects (empty span when the
+  /// source is exhausted). The span must stay valid until the next call;
+  /// `max` must be > 0.
+  virtual std::span<const UncertainObject> NextBatch(std::size_t max) = 0;
+};
+
+/// ObjectSource over objects already resident in memory (zero-copy: batches
+/// are subspans of the backing storage).
+class VectorObjectSource final : public ObjectSource {
+ public:
+  explicit VectorObjectSource(std::span<const UncertainObject> objects)
+      : objects_(objects) {}
+
+  std::span<const UncertainObject> NextBatch(std::size_t max) override;
+
+ private:
+  std::span<const UncertainObject> objects_;
+  std::size_t cursor_ = 0;
+};
+
+/// Incremental MomentMatrix builder. Feed batches (or whole sources), then
+/// Build() once; the builder must not be reused afterwards.
+class DatasetBuilder {
+ public:
+  /// Default batch granularity used by Consume()-style entry points.
+  static constexpr std::size_t kDefaultBatchSize = 4096;
+
+  explicit DatasetBuilder(const engine::Engine& eng = engine::Engine::Serial())
+      : engine_(eng) {}
+
+  /// Appends one object's moment row.
+  void Add(const UncertainObject& o) { AddBatch({&o, 1}); }
+
+  /// Appends one batch; rows are packed concurrently via the engine's
+  /// ParallelFor (each row is an independent write, so any thread count
+  /// yields identical columns).
+  void AddBatch(std::span<const UncertainObject> batch);
+
+  /// Drains `source` in batches of `batch_size`.
+  void Consume(ObjectSource* source,
+               std::size_t batch_size = kDefaultBatchSize);
+
+  /// Objects ingested so far.
+  std::size_t size() const { return n_; }
+  /// Dimensionality (0 until the first object arrives).
+  std::size_t dims() const { return m_; }
+
+  /// Finalizes into a MomentMatrix (moves the columns out).
+  MomentMatrix Build();
+
+  /// One-shot convenience: drains `source` and returns the matrix.
+  static MomentMatrix BuildMoments(
+      ObjectSource* source, const engine::Engine& eng = engine::Engine::Serial(),
+      std::size_t batch_size = kDefaultBatchSize);
+
+ private:
+  engine::Engine engine_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> mu2_;
+  std::vector<double> var_;
+  std::vector<double> total_var_;
+};
+
+}  // namespace uclust::uncertain
+
+#endif  // UCLUST_UNCERTAIN_DATASET_BUILDER_H_

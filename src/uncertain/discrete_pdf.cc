@@ -15,12 +15,25 @@ DiscretePdf::DiscretePdf(std::vector<double> values,
     assert(w > 0.0);
     total += w;
   }
+  for (double& w : weights_) w /= total;
+  ComputeDerived();
+}
+
+DiscretePdf::DiscretePdf(NormalizedTag, std::vector<double> values,
+                         std::vector<double> weights)
+    : values_(std::move(values)), weights_(std::move(weights)) {
+  assert(!values_.empty());
+  assert(values_.size() == weights_.size());
+  ComputeDerived();
+}
+
+void DiscretePdf::ComputeDerived() {
   cum_.reserve(weights_.size());
   double acc = 0.0;
   lo_ = values_[0];
   hi_ = values_[0];
   for (std::size_t i = 0; i < weights_.size(); ++i) {
-    weights_[i] /= total;
+    assert(weights_[i] > 0.0);
     acc += weights_[i];
     cum_.push_back(acc);
     mean_ += weights_[i] * values_[i];
@@ -34,6 +47,12 @@ DiscretePdf::DiscretePdf(std::vector<double> values,
 PdfPtr DiscretePdf::Uniformly(std::vector<double> values) {
   std::vector<double> w(values.size(), 1.0);
   return std::make_shared<DiscretePdf>(std::move(values), std::move(w));
+}
+
+PdfPtr DiscretePdf::FromNormalized(std::vector<double> values,
+                                   std::vector<double> weights) {
+  return std::shared_ptr<DiscretePdf>(
+      new DiscretePdf(NormalizedTag{}, std::move(values), std::move(weights)));
 }
 
 double DiscretePdf::Density(double x) const {

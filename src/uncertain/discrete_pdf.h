@@ -24,6 +24,13 @@ class DiscretePdf final : public Pdf {
   /// Uniformly weighted point masses.
   static PdfPtr Uniformly(std::vector<double> values);
 
+  /// Reconstructs a pdf from weights that are already normalized (as
+  /// returned by weights()). Skips the renormalizing division so that a
+  /// serialize/deserialize round trip reproduces the original moments
+  /// bit-for-bit; used by the binary dataset format.
+  static PdfPtr FromNormalized(std::vector<double> values,
+                               std::vector<double> weights);
+
   /// The support points.
   const std::vector<double>& values() const { return values_; }
   /// The normalized weights.
@@ -40,6 +47,11 @@ class DiscretePdf final : public Pdf {
   const char* TypeName() const override { return "discrete"; }
 
  private:
+  struct NormalizedTag {};
+  DiscretePdf(NormalizedTag, std::vector<double> values,
+              std::vector<double> weights);
+  void ComputeDerived();
+
   std::vector<double> values_;
   std::vector<double> weights_;  // normalized
   std::vector<double> cum_;      // cumulative weights for sampling

@@ -20,6 +20,23 @@ MomentMatrix MomentMatrix::FromObjects(
   return mm;
 }
 
+MomentMatrix MomentMatrix::FromColumns(std::size_t n, std::size_t m,
+                                       std::vector<double> mean,
+                                       std::vector<double> mu2,
+                                       std::vector<double> var,
+                                       std::vector<double> total_var) {
+  assert(mean.size() == n * m && mu2.size() == n * m && var.size() == n * m);
+  assert(total_var.size() == n);
+  MomentMatrix mm;
+  mm.n_ = n;
+  mm.m_ = m;
+  mm.mean_ = std::move(mean);
+  mm.mu2_ = std::move(mu2);
+  mm.var_ = std::move(var);
+  mm.total_var_ = std::move(total_var);
+  return mm;
+}
+
 void MomentMatrix::AppendRow(std::span<const double> mean,
                              std::span<const double> mu2,
                              std::span<const double> var) {

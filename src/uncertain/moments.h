@@ -27,6 +27,14 @@ class MomentMatrix {
   /// Packs the moments of existing uncertain objects.
   static MomentMatrix FromObjects(std::span<const UncertainObject> objects);
 
+  /// Adopts pre-packed flat columns (row-major n x m; total_var of length n).
+  /// Used by DatasetBuilder, which fills the columns batch-by-batch.
+  static MomentMatrix FromColumns(std::size_t n, std::size_t m,
+                                  std::vector<double> mean,
+                                  std::vector<double> mu2,
+                                  std::vector<double> var,
+                                  std::vector<double> total_var);
+
   /// Appends one object row given its mean/second-moment/variance vectors.
   void AppendRow(std::span<const double> mean, std::span<const double> mu2,
                  std::span<const double> var);

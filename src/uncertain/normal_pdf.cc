@@ -29,16 +29,32 @@ double NormalQuantile(double p) {
 
 }  // namespace
 
+namespace {
+
+// Central region [-c, c] with untruncated mass `coverage`:
+// Phi(c) = (1 + coverage) / 2. The default coverage has a precomputed
+// constant because dataset generators construct millions of these.
+double CoverageToHalfWidth(double coverage) {
+  assert(coverage > 0.0 && coverage < 1.0);
+  return coverage == 0.95 ? common::kNormal95
+                          : NormalQuantile(0.5 * (1.0 + coverage));
+}
+
+}  // namespace
+
 TruncatedNormalPdf::TruncatedNormalPdf(double mu, double sigma,
                                        double coverage)
-    : mu_(mu), sigma_(sigma) {
+    : TruncatedNormalPdf(HalfWidthTag{}, mu, sigma,
+                         CoverageToHalfWidth(coverage)) {}
+
+// The single derivation of mass_/variance_: a pdf rebuilt from
+// half_width_sigmas() (the binary format's stored parameter) carries
+// bit-identical moments because it runs these exact expressions.
+TruncatedNormalPdf::TruncatedNormalPdf(HalfWidthTag, double mu, double sigma,
+                                       double half_width)
+    : mu_(mu), sigma_(sigma), c_(half_width) {
   assert(sigma > 0.0 && "TruncatedNormalPdf requires sigma > 0");
-  assert(coverage > 0.0 && coverage < 1.0);
-  // Central region [-c, c] with untruncated mass `coverage`:
-  // Phi(c) = (1 + coverage) / 2. The default coverage has a precomputed
-  // constant because dataset generators construct millions of these.
-  c_ = coverage == 0.95 ? common::kNormal95
-                        : NormalQuantile(0.5 * (1.0 + coverage));
+  assert(half_width > 0.0);
   mass_ = 2.0 * common::NormalCdf(c_) - 1.0;
   // Symmetric truncation: Var = sigma^2 * (1 - 2 c phi(c) / mass).
   variance_ =
@@ -47,6 +63,12 @@ TruncatedNormalPdf::TruncatedNormalPdf(double mu, double sigma,
 
 PdfPtr TruncatedNormalPdf::Make(double mu, double sigma) {
   return std::make_shared<TruncatedNormalPdf>(mu, sigma);
+}
+
+PdfPtr TruncatedNormalPdf::FromHalfWidth(double mu, double sigma,
+                                         double half_width) {
+  return std::shared_ptr<TruncatedNormalPdf>(
+      new TruncatedNormalPdf(HalfWidthTag{}, mu, sigma, half_width));
 }
 
 double TruncatedNormalPdf::second_moment() const {

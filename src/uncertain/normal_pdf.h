@@ -23,10 +23,18 @@ class TruncatedNormalPdf final : public Pdf {
   /// Convenience factory with the default 95% region.
   static PdfPtr Make(double mu, double sigma);
 
+  /// Reconstructs a pdf from (mu, sigma, half_width_sigmas()) — the exact
+  /// parameterization the binary dataset format stores. Bypasses the
+  /// coverage -> c quantile inversion so that a serialize/deserialize round
+  /// trip reproduces the original moments bit-for-bit.
+  static PdfPtr FromHalfWidth(double mu, double sigma, double half_width);
+
   /// Untruncated location parameter (== mean(), by symmetry).
   double mu() const { return mu_; }
   /// Untruncated scale parameter.
   double sigma() const { return sigma_; }
+  /// Truncation half-width c in sigma units (region = mu +- c*sigma).
+  double half_width_sigmas() const { return c_; }
 
   double mean() const override { return mu_; }
   double second_moment() const override;
@@ -38,6 +46,9 @@ class TruncatedNormalPdf final : public Pdf {
   const char* TypeName() const override { return "normal"; }
 
  private:
+  struct HalfWidthTag {};
+  TruncatedNormalPdf(HalfWidthTag, double mu, double sigma, double half_width);
+
   double mu_;
   double sigma_;
   double c_;          // half-width in sigma units

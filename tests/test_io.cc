@@ -1,0 +1,415 @@
+// Tests for the binary dataset format (src/io/) and the streaming moment
+// ingestion path (uncertain::DatasetBuilder + io::FileObjectSource):
+// write -> read round trips reproduce moments bit-for-bit, streamed
+// ingestion equals the in-memory builder at any batch size and thread
+// count, and malformed files (endianness, version, magic, truncation) are
+// rejected instead of mis-parsed.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "engine/engine.h"
+#include "io/binary_format.h"
+#include "io/dataset_reader.h"
+#include "io/dataset_writer.h"
+#include "io/ingest.h"
+#include "uncertain/dataset_builder.h"
+#include "uncertain/dirac_pdf.h"
+#include "uncertain/discrete_pdf.h"
+#include "uncertain/exponential_pdf.h"
+#include "uncertain/moments.h"
+#include "uncertain/normal_pdf.h"
+#include "uncertain/uniform_pdf.h"
+
+namespace uclust {
+namespace {
+
+using uncertain::DatasetBuilder;
+using uncertain::MomentMatrix;
+using uncertain::PdfPtr;
+using uncertain::UncertainObject;
+
+std::string TempPath(const std::string& file) {
+  return ::testing::TempDir() + file;
+}
+
+// Objects cycling through every serializable pdf family, with irregular
+// parameters (non-uniform discrete weights included).
+std::vector<UncertainObject> MakeTestObjects(std::size_t n, std::size_t m,
+                                             uint64_t seed) {
+  std::vector<UncertainObject> objects;
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<PdfPtr> dims;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double w = rng.Uniform(-3.0, 3.0);
+      const double scale = rng.Uniform(0.05, 0.4);
+      switch ((i + j) % 5) {
+        case 0:
+          dims.push_back(uncertain::UniformPdf::Centered(w, scale));
+          break;
+        case 1:
+          dims.push_back(uncertain::TruncatedNormalPdf::Make(w, scale));
+          break;
+        case 2:
+          dims.push_back(uncertain::TruncatedExponentialPdf::Make(w, 1.0 / scale));
+          break;
+        case 3:
+          dims.push_back(uncertain::DiracPdf::Make(w));
+          break;
+        default: {
+          std::vector<double> values, weights;
+          for (int s = 0; s < 4; ++s) {
+            values.push_back(w + rng.Uniform(-scale, scale));
+            weights.push_back(rng.Uniform(0.1, 2.0));
+          }
+          dims.push_back(std::make_shared<uncertain::DiscretePdf>(
+              std::move(values), std::move(weights)));
+        }
+      }
+    }
+    objects.emplace_back(std::move(dims));
+  }
+  return objects;
+}
+
+// Writes `objects` (with labels i % 3) to a fresh file and returns its path.
+std::string WriteTestFile(const std::string& file,
+                          const std::vector<UncertainObject>& objects,
+                          int num_classes = 3) {
+  const std::string path = TempPath(file);
+  io::BinaryDatasetWriter writer;
+  EXPECT_TRUE(writer
+                  .Open(path, objects[0].dims(), "io-test", num_classes,
+                        /*with_labels=*/true)
+                  .ok());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_TRUE(writer.Append(objects[i], static_cast<int>(i % 3)).ok());
+  }
+  EXPECT_TRUE(writer.Finish().ok());
+  return path;
+}
+
+void ExpectBitIdentical(const MomentMatrix& a, const MomentMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dims(), b.dims());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(a.mean(i).data(), b.mean(i).data(),
+                             a.dims() * sizeof(double)))
+        << "mean row " << i;
+    ASSERT_EQ(0, std::memcmp(a.second_moment(i).data(),
+                             b.second_moment(i).data(),
+                             a.dims() * sizeof(double)))
+        << "mu2 row " << i;
+    ASSERT_EQ(0, std::memcmp(a.variance(i).data(), b.variance(i).data(),
+                             a.dims() * sizeof(double)))
+        << "var row " << i;
+    ASSERT_EQ(a.total_variance(i), b.total_variance(i)) << "total var " << i;
+  }
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good());
+}
+
+TEST(BinaryFormatTest, RoundTripReproducesEverythingBitIdentically) {
+  const auto objects = MakeTestObjects(37, 3, /*seed=*/11);
+  const std::string path = WriteTestFile("roundtrip.ubin", objects);
+
+  auto loaded = io::ReadUncertainDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const data::UncertainDataset ds = std::move(loaded).ValueOrDie();
+
+  EXPECT_EQ("io-test", ds.name());
+  EXPECT_EQ(3, ds.num_classes());
+  ASSERT_EQ(objects.size(), ds.size());
+  ASSERT_EQ(objects.size(), ds.labels().size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(i % 3), ds.labels()[i]);
+    const UncertainObject& a = objects[i];
+    const UncertainObject& b = ds.object(i);
+    ASSERT_EQ(a.dims(), b.dims());
+    for (std::size_t j = 0; j < a.dims(); ++j) {
+      EXPECT_STREQ(a.pdf(j).TypeName(), b.pdf(j).TypeName());
+      // Bit-exact: the format stores constructor-exact parameters, so every
+      // derived quantity is recomputed identically.
+      EXPECT_EQ(a.mean()[j], b.mean()[j]) << "object " << i << " dim " << j;
+      EXPECT_EQ(a.second_moment()[j], b.second_moment()[j]);
+      EXPECT_EQ(a.variance()[j], b.variance()[j]);
+      EXPECT_EQ(a.pdf(j).lower(), b.pdf(j).lower());
+      EXPECT_EQ(a.pdf(j).upper(), b.pdf(j).upper());
+    }
+    EXPECT_EQ(a.total_variance(), b.total_variance());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, StreamedIngestionMatchesInMemoryBuilder) {
+  const auto objects = MakeTestObjects(101, 4, /*seed=*/23);
+  const std::string path = WriteTestFile("streamed.ubin", objects);
+  const MomentMatrix reference = MomentMatrix::FromObjects(objects);
+
+  engine::EngineConfig threaded;
+  threaded.num_threads = 4;
+  threaded.block_size = 8;
+  const engine::Engine engines[] = {engine::Engine::Serial(),
+                                    engine::Engine(threaded)};
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{32}, std::size_t{1000}}) {
+    for (const engine::Engine& eng : engines) {
+      std::vector<int> labels;
+      auto streamed = io::StreamMomentsFromFile(path, eng, batch, &labels);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      const MomentMatrix mm = std::move(streamed).ValueOrDie();
+      ExpectBitIdentical(reference, mm);
+      ASSERT_EQ(objects.size(), labels.size());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetBuilderTest, BatchPartitionAndThreadCountInvariance) {
+  const auto objects = MakeTestObjects(53, 3, /*seed=*/31);
+  const MomentMatrix reference = MomentMatrix::FromObjects(objects);
+
+  engine::EngineConfig threaded;
+  threaded.num_threads = 3;
+  threaded.block_size = 4;
+  const engine::Engine engines[] = {engine::Engine::Serial(),
+                                    engine::Engine(threaded)};
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{5}, std::size_t{53}, std::size_t{60}}) {
+    for (const engine::Engine& eng : engines) {
+      DatasetBuilder builder(eng);
+      for (std::size_t start = 0; start < objects.size(); start += batch) {
+        const std::size_t count = std::min(batch, objects.size() - start);
+        builder.AddBatch({objects.data() + start, count});
+      }
+      ExpectBitIdentical(reference, builder.Build());
+    }
+  }
+
+  // The dataset's own accessor now routes through the same builder.
+  std::vector<UncertainObject> copy = objects;
+  const data::UncertainDataset ds("builder-test", std::move(copy), {}, 0);
+  ExpectBitIdentical(reference, ds.moments());
+}
+
+TEST(BinaryFormatTest, RejectsForeignEndianFiles) {
+  const auto objects = MakeTestObjects(3, 2, /*seed=*/5);
+  const std::string path = WriteTestFile("endian.ubin", objects);
+  std::vector<char> bytes = ReadFileBytes(path);
+  const uint32_t swapped = io::kEndianTagSwapped;
+  std::memcpy(bytes.data() + 8, &swapped, sizeof(swapped));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  const common::Status st = reader.Open(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string::npos, st.message().find("endian")) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsNewerFormatVersions) {
+  const auto objects = MakeTestObjects(3, 2, /*seed=*/5);
+  const std::string path = WriteTestFile("version.ubin", objects);
+  std::vector<char> bytes = ReadFileBytes(path);
+  const uint32_t future = io::kFormatVersion + 41;
+  std::memcpy(bytes.data() + 12, &future, sizeof(future));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  const common::Status st = reader.Open(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string::npos, st.message().find("version")) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsBadMagicAndShortFiles) {
+  const std::string path = TempPath("magic.ubin");
+  WriteFileBytes(path, std::vector<char>(128, 'x'));
+  io::BinaryDatasetReader reader;
+  EXPECT_FALSE(reader.Open(path).ok());
+
+  WriteFileBytes(path, std::vector<char>(10, 'x'));
+  io::BinaryDatasetReader short_reader;
+  EXPECT_FALSE(short_reader.Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsTruncatedObjectRecords) {
+  const auto objects = MakeTestObjects(8, 3, /*seed=*/17);
+  const std::string path = WriteTestFile("trunc.ubin", objects);
+  std::vector<char> bytes = ReadFileBytes(path);
+  bytes.resize(bytes.size() / 2);
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());  // header is intact
+  std::vector<UncertainObject> batch;
+  common::Status st = common::Status::Ok();
+  while (reader.remaining() > 0) {
+    st = reader.ReadBatch(4, &batch);
+    if (!st.ok()) break;
+  }
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+// Writes one single-dimension object so record offsets are computable:
+// header (64) + name ("io-test", 7) + u32 payload, then the pdf record.
+std::string WriteSingleObjectFile(const std::string& file, PdfPtr pdf) {
+  const std::string path = TempPath(file);
+  io::BinaryDatasetWriter writer;
+  EXPECT_TRUE(writer.Open(path, 1, "io-test", 2, /*with_labels=*/true).ok());
+  std::vector<PdfPtr> dims{std::move(pdf)};
+  EXPECT_TRUE(writer.Append(UncertainObject(std::move(dims)), 1).ok());
+  EXPECT_TRUE(writer.Finish().ok());
+  return path;
+}
+
+constexpr std::size_t kRecordStart = 64 + 7;  // header + "io-test"
+
+TEST(BinaryFormatTest, RejectsOversizedDiscreteCountWithoutAllocating) {
+  const std::string path = WriteSingleObjectFile(
+      "hugecount.ubin", uncertain::DiscretePdf::Uniformly({1.0, 2.0, 3.0}));
+  std::vector<char> bytes = ReadFileBytes(path);
+  // Record layout: u32 payload, u8 tag (kPdfDiscrete), u32 count, ...
+  const uint32_t huge = 0xffffffffu;
+  std::memcpy(bytes.data() + kRecordStart + 5, &huge, sizeof(huge));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<UncertainObject> batch;
+  // Must fail with a Status — not std::bad_alloc from a ~64 GB vector.
+  EXPECT_FALSE(reader.ReadBatch(1, &batch).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsDiscreteWeightsThatDoNotSumToOne) {
+  const std::string path = WriteSingleObjectFile(
+      "badweights.ubin", uncertain::DiscretePdf::Uniformly({1.0, 2.0}));
+  std::vector<char> bytes = ReadFileBytes(path);
+  // First weight sits after payload(4) + tag(1) + count(4) + 2 values(16).
+  const double bogus = 7.5;
+  std::memcpy(bytes.data() + kRecordStart + 25, &bogus, sizeof(bogus));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<UncertainObject> batch;
+  EXPECT_FALSE(reader.ReadBatch(1, &batch).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsDegenerateNormalHalfWidth) {
+  const std::string path = WriteSingleObjectFile(
+      "tinyc.ubin", uncertain::TruncatedNormalPdf::Make(0.5, 0.1));
+  std::vector<char> bytes = ReadFileBytes(path);
+  // Half-width field sits after payload(4) + tag(1) + mu(8) + sigma(8); a
+  // sub-1e-16 value would make the truncated-variance formula emit -inf.
+  const double tiny = 1e-20;
+  std::memcpy(bytes.data() + kRecordStart + 21, &tiny, sizeof(tiny));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<UncertainObject> batch;
+  EXPECT_FALSE(reader.ReadBatch(1, &batch).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsObjectCountInconsistentWithFileSize) {
+  const auto objects = MakeTestObjects(3, 2, /*seed=*/5);
+  const std::string path = WriteTestFile("hugen.ubin", objects);
+  std::vector<char> bytes = ReadFileBytes(path);
+  const uint64_t huge_n = uint64_t{1} << 40;  // far beyond the file's bytes
+  std::memcpy(bytes.data() + 16, &huge_n, sizeof(huge_n));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  EXPECT_FALSE(reader.Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, RejectsNameLengthInconsistentWithFileSize) {
+  const auto objects = MakeTestObjects(3, 2, /*seed=*/5);
+  const std::string path = WriteTestFile("hugename.ubin", objects);
+  std::vector<char> bytes = ReadFileBytes(path);
+  const uint32_t huge_len = 0xffffffffu;
+  std::memcpy(bytes.data() + 48, &huge_len, sizeof(huge_len));
+  WriteFileBytes(path, bytes);
+
+  io::BinaryDatasetReader reader;
+  // Must fail with a Status — not a ~4 GB string allocation.
+  EXPECT_FALSE(reader.Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormatTest, ReadLabelsDoesNotDisturbBatchStreaming) {
+  const auto objects = MakeTestObjects(20, 2, /*seed=*/41);
+  const std::string path = WriteTestFile("labels.ubin", objects);
+
+  io::BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<UncertainObject> batch;
+  ASSERT_TRUE(reader.ReadBatch(7, &batch).ok());
+  ASSERT_EQ(7u, batch.size());
+
+  std::vector<int> labels;
+  ASSERT_TRUE(reader.ReadLabels(&labels).ok());  // mid-stream
+  ASSERT_EQ(objects.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(i % 3), labels[i]);
+  }
+
+  std::size_t streamed = batch.size();
+  while (reader.remaining() > 0) {
+    ASSERT_TRUE(reader.ReadBatch(7, &batch).ok());
+    for (const auto& o : batch) {
+      EXPECT_EQ(objects[streamed].mean()[0], o.mean()[0]);
+      ++streamed;
+    }
+  }
+  EXPECT_EQ(objects.size(), streamed);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryDatasetWriterTest, ValidatesArguments) {
+  io::BinaryDatasetWriter writer;
+  EXPECT_FALSE(writer.Open(TempPath("bad.ubin"), 0, "x", 0, false).ok());
+  EXPECT_FALSE(writer.Open(TempPath("bad.ubin"), 2, "x", 3, false).ok());
+
+  io::BinaryDatasetWriter labeled;
+  const std::string path = TempPath("validate.ubin");
+  ASSERT_TRUE(labeled.Open(path, 2, "x", 2, true).ok());
+  const auto objects = MakeTestObjects(2, 2, /*seed=*/3);
+  EXPECT_FALSE(labeled.Append(objects[0], -1).ok());  // label required
+  const auto wrong_dims = MakeTestObjects(1, 3, /*seed=*/3);
+  EXPECT_FALSE(labeled.Append(wrong_dims[0], 0).ok());
+  EXPECT_TRUE(labeled.Append(objects[0], 0).ok());
+  EXPECT_TRUE(labeled.Append(objects[1], 1).ok());
+  EXPECT_TRUE(labeled.Finish().ok());
+  EXPECT_EQ(2u, labeled.written());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uclust
