@@ -8,6 +8,8 @@
 // speedup of the execution engine at the 100% size, sweeps the
 // PairwiseStore backend axis (dense / tiled / on-the-fly ED^ tables) on an
 // object-backed UK-medoids workload with peak-RSS and peak-table-memory
+// accounting, sweeps the MomentStore backend axis (resident columns vs the
+// mmap-backed .umom sidecar) on the fast group with moments-bytes-resident
 // accounting, and persists everything to a machine-readable
 // BENCH_fig5_scalability.json (see --json_out).
 //
@@ -48,6 +50,8 @@
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
 #include "io/ingest.h"
+#include "io/moment_file.h"
+#include "uncertain/moment_store.h"
 #include "uncertain/moments.h"
 
 namespace {
@@ -61,7 +65,7 @@ struct Timing {
 using bench::PeakRssKb;
 
 // Average online time of each moment-kernel algorithm over `runs`.
-void TimeFastGroup(const uncertain::MomentMatrix& mm, int k, int runs,
+void TimeFastGroup(const uncertain::MomentView& mm, int k, int runs,
                    uint64_t seed, const engine::Engine& eng, Timing* ukm,
                    Timing* mmv, Timing* ucpc) {
   for (int r = 0; r < runs; ++r) {
@@ -265,6 +269,77 @@ int main(int argc, char** argv) {
     }
   }
   json.EndArray();
+
+  // MomentStore backend axis: the fast group on resident columns vs the
+  // mmap-backed .umom sidecar, at the 100% size. Labels must agree
+  // bit-for-bit; what changes is moments_bytes_resident — the bytes of
+  // moment storage pinned in memory (full columns vs the peak of the
+  // chunk-window cache) — which is the new memory floor this axis tracks.
+  // RSS is recorded too, but the resident columns already exist in this
+  // process, so moments_bytes_resident is the meaningful memory signal.
+  if (largest_mm.size() > 0 && args.GetBool("with_moment_backends", true)) {
+    const std::string umom_path = json_out + ".umom";
+    const common::Status wst = io::WriteMomentFile(
+        largest_mm.view(), umom_path, eng.moment_chunk_rows());
+    auto mapped_store =
+        wst.ok() ? io::MappedMomentStore::Open(umom_path)
+                 : common::Result<std::unique_ptr<io::MappedMomentStore>>(wst);
+    if (!mapped_store.ok()) {
+      std::fprintf(stderr, "fig5: moment backend axis skipped: %s\n",
+                   mapped_store.status().ToString().c_str());
+    } else {
+      const uncertain::ResidentMomentStore resident(std::move(largest_mm));
+      const io::MappedMomentStore& mapped = *mapped_store.ValueOrDie();
+      std::printf("\n[moment backend axis: fast group at n=%zu, resident "
+                  "columns = %.1f MiB, chunk_rows=%zu]\n",
+                  resident.size(),
+                  static_cast<double>(resident.moment_bytes_resident()) /
+                      (1 << 20),
+                  mapped.chunk_rows());
+      std::printf("%10s | %12s %12s %12s %14s %12s\n", "backend", "UK-means",
+                  "MMVar", "UCPC", "moment_bytes", "peak_rss");
+      json.Key("moment_backends");
+      json.BeginArray();
+      // The resident store runs first and its labels become the reference
+      // the mapped run is compared against — one labels pass per backend.
+      std::vector<int> reference_labels;
+      const uncertain::MomentStore* stores[] = {&resident, &mapped};
+      for (const uncertain::MomentStore* store : stores) {
+        Timing ukm, mmv, ucpc;
+        TimeFastGroup(store->view(), k, runs, seed, eng, &ukm, &mmv, &ucpc);
+        std::vector<int> labels =
+            clustering::Ukmeans::RunOnMoments(store->view(), k, seed,
+                                              clustering::Ukmeans::Params(),
+                                              eng)
+                .labels;
+        if (reference_labels.empty()) reference_labels = std::move(labels);
+        const bool labels_match =
+            store == &resident || labels == reference_labels;
+        const long rss_kb = PeakRssKb();
+        std::printf("%10s | %10.1fms %10.1fms %10.1fms %11.2f MiB %9ld KB%s\n",
+                    uncertain::MomentBackendName(store->backend()).c_str(),
+                    ukm.ms, mmv.ms, ucpc.ms,
+                    static_cast<double>(store->moment_bytes_resident()) /
+                        (1 << 20),
+                    rss_kb, labels_match ? "" : "  LABEL MISMATCH!");
+        json.BeginObject();
+        json.KV("backend", uncertain::MomentBackendName(store->backend()));
+        json.KV("n", store->size());
+        json.Key("online_ms");
+        json.BeginObject();
+        json.KV("UK-means", ukm.ms);
+        json.KV("MMVar", mmv.ms);
+        json.KV("UCPC", ucpc.ms);
+        json.EndObject();
+        json.KV("moments_bytes_resident", store->moment_bytes_resident());
+        json.KV("peak_rss_kb", static_cast<int64_t>(rss_kb));
+        json.KV("labels_match_resident", labels_match);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    std::remove(umom_path.c_str());
+  }
 
   // PairwiseStore backend axis: the same object-backed UK-medoids workload
   // under an unlimited budget (dense table), a tiled budget, and a 1-byte

@@ -43,29 +43,6 @@ namespace {
 
 using namespace uclust;  // NOLINT: bench brevity
 
-// FNV-1a over the matrix bytes: a stable fingerprint for cross-mode
-// comparison in CI logs.
-uint64_t Fingerprint(const uncertain::MomentMatrix& mm) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::span<const double> row) {
-    for (double v : row) {
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(v));
-      __builtin_memcpy(&bits, &v, sizeof(bits));
-      for (int b = 0; b < 64; b += 8) {
-        h ^= (bits >> b) & 0xff;
-        h *= 1099511628211ull;
-      }
-    }
-  };
-  for (std::size_t i = 0; i < mm.size(); ++i) {
-    mix(mm.mean(i));
-    mix(mm.second_moment(i));
-    mix(mm.variance(i));
-  }
-  return h;
-}
-
 int Run(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const std::string path = args.GetString("dataset", "");
@@ -113,7 +90,7 @@ int Run(int argc, char** argv) {
   std::printf("[ingest smoke] ingested n=%zu m=%zu in %.1fms, "
               "fingerprint=%016llx, rss=%ld KB\n",
               mm.size(), mm.dims(), ingest_ms,
-              static_cast<unsigned long long>(Fingerprint(mm)),
+              static_cast<unsigned long long>(bench::MomentFingerprint(mm)),
               bench::PeakRssKb());
   // Size sanity must precede the clustering call: RunOnMoments requires
   // n >= k (assert-only, compiled out in Release).

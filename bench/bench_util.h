@@ -2,6 +2,12 @@
 #ifndef UCLUST_BENCH_BENCH_UTIL_H_
 #define UCLUST_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "uncertain/moments.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -17,6 +23,30 @@ inline long PeakRssKb() {
   if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
 #endif
   return 0;
+}
+
+/// FNV-1a over every moment byte of a view (mean, mu2, var row by row): a
+/// stable fingerprint for cross-mode / cross-backend comparison in CI logs.
+/// Identical for any storage backend serving the same statistics.
+inline uint64_t MomentFingerprint(const uncertain::MomentView& view) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::span<const double> row) {
+    for (double v : row) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int b = 0; b < 64; b += 8) {
+        h ^= (bits >> b) & 0xff;
+        h *= 1099511628211ull;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    mix(view.mean(i));
+    mix(view.second_moment(i));
+    mix(view.variance(i));
+  }
+  return h;
 }
 
 }  // namespace uclust::bench

@@ -46,7 +46,7 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
   common::Stopwatch offline;
   const uncertain::SampleCache cache(data.objects(), params_.samples,
                                      params_.sample_seed, eng);
-  const uncertain::MomentMatrix& mm = data.moments();
+  const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;

@@ -4,7 +4,7 @@
 
 namespace uclust::clustering {
 
-void ClusterMoments::Add(const uncertain::MomentMatrix& moments,
+void ClusterMoments::Add(const uncertain::MomentView& moments,
                          std::size_t i) {
   assert(moments.dims() == dims());
   const auto var = moments.variance(i);
@@ -18,7 +18,7 @@ void ClusterMoments::Add(const uncertain::MomentMatrix& moments,
   ++size_;
 }
 
-void ClusterMoments::Remove(const uncertain::MomentMatrix& moments,
+void ClusterMoments::Remove(const uncertain::MomentView& moments,
                             std::size_t i) {
   assert(size_ > 0);
   assert(moments.dims() == dims());
@@ -96,7 +96,7 @@ namespace {
 // cluster size `s`, where the deltas come from one object row scaled by
 // `sign` (+1 add, -1 remove). O(m), allocation-free.
 double ObjectiveWithDelta(ObjectiveKind kind, const ClusterMoments& c,
-                          const uncertain::MomentMatrix& moments,
+                          const uncertain::MomentView& moments,
                           std::size_t i, double sign, std::size_t new_size) {
   if (new_size == 0) return 0.0;
   const double s = static_cast<double>(new_size);
@@ -135,20 +135,20 @@ double ObjectiveWithDelta(ObjectiveKind kind, const ClusterMoments& c,
 }  // namespace
 
 double ObjectiveAfterAdd(ObjectiveKind kind, const ClusterMoments& c,
-                         const uncertain::MomentMatrix& moments,
+                         const uncertain::MomentView& moments,
                          std::size_t i) {
   return ObjectiveWithDelta(kind, c, moments, i, +1.0, c.size() + 1);
 }
 
 double ObjectiveAfterRemove(ObjectiveKind kind, const ClusterMoments& c,
-                            const uncertain::MomentMatrix& moments,
+                            const uncertain::MomentView& moments,
                             std::size_t i) {
   assert(c.size() >= 1);
   return ObjectiveWithDelta(kind, c, moments, i, -1.0, c.size() - 1);
 }
 
 double TotalObjective(ObjectiveKind kind,
-                      const uncertain::MomentMatrix& moments,
+                      const uncertain::MomentView& moments,
                       const std::vector<int>& labels, int k) {
   assert(labels.size() == moments.size());
   std::vector<ClusterMoments> stats(k, ClusterMoments(moments.dims()));
@@ -162,7 +162,7 @@ double TotalObjective(ObjectiveKind kind,
 }
 
 double ExpectedDistanceToUCentroid(const ClusterMoments& c,
-                                   const uncertain::MomentMatrix& moments,
+                                   const uncertain::MomentView& moments,
                                    std::size_t i) {
   assert(c.size() >= 1);
   const double s = static_cast<double>(c.size());

@@ -38,9 +38,9 @@ class ClusterMoments {
   std::span<const double> sum_mu() const { return sum_mu_; }
 
   /// Adds object i of `moments` to the cluster. O(m).
-  void Add(const uncertain::MomentMatrix& moments, std::size_t i);
+  void Add(const uncertain::MomentView& moments, std::size_t i);
   /// Removes object i of `moments` from the cluster (must be a member). O(m).
-  void Remove(const uncertain::MomentMatrix& moments, std::size_t i);
+  void Remove(const uncertain::MomentView& moments, std::size_t i);
 
  private:
   std::size_t size_ = 0;
@@ -76,18 +76,18 @@ double Objective(ObjectiveKind kind, const ClusterMoments& c);
 /// Objective of C + {object i} computed in O(m) without mutating `c`
 /// (Corollary 1 for additions, generalized to all three objectives).
 double ObjectiveAfterAdd(ObjectiveKind kind, const ClusterMoments& c,
-                         const uncertain::MomentMatrix& moments,
+                         const uncertain::MomentView& moments,
                          std::size_t i);
 
 /// Objective of C - {object i} computed in O(m) without mutating `c`
 /// (Corollary 1 for removals). `i` must be a member; |C| must be >= 1.
 double ObjectiveAfterRemove(ObjectiveKind kind, const ClusterMoments& c,
-                            const uncertain::MomentMatrix& moments,
+                            const uncertain::MomentView& moments,
                             std::size_t i);
 
 /// Sum over clusters of `kind`'s objective for a full labeling. O(n m).
 double TotalObjective(ObjectiveKind kind,
-                      const uncertain::MomentMatrix& moments,
+                      const uncertain::MomentView& moments,
                       const std::vector<int>& labels, int k);
 
 /// Expected squared distance between object i and the U-centroid of the
@@ -95,7 +95,7 @@ double TotalObjective(ObjectiveKind kind,
 /// (derived from Theorem 3 / Lemma 5); `i` must be a member of `c`.
 /// Exposed for tests that validate the closed form against Monte Carlo.
 double ExpectedDistanceToUCentroid(const ClusterMoments& c,
-                                   const uncertain::MomentMatrix& moments,
+                                   const uncertain::MomentView& moments,
                                    std::size_t i);
 
 }  // namespace uclust::clustering

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
 
 #include "common/math_utils.h"
 
@@ -29,7 +30,7 @@ std::vector<std::size_t> RandomDistinctObjects(std::size_t n, int k,
 }
 
 std::vector<double> CentroidsFromObjects(
-    const uncertain::MomentMatrix& moments,
+    const uncertain::MomentView& moments,
     const std::vector<std::size_t>& picks) {
   const std::size_t m = moments.dims();
   std::vector<double> centroids;
@@ -41,17 +42,27 @@ std::vector<double> CentroidsFromObjects(
   return centroids;
 }
 
-std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentMatrix& mm,
+std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentView& mm,
                                          int k, common::Rng* rng) {
   const std::size_t n = mm.size();
+  const std::size_t m = mm.dims();
   assert(k > 0 && n >= static_cast<std::size_t>(k));
   std::vector<std::size_t> seeds;
   seeds.reserve(k);
   seeds.push_back(rng->Index(n));
+  // The newest seed's mean, gathered once into flat scratch: on a chunked
+  // (mapped) view, re-fetching the seed row per object would alternate the
+  // per-thread chunk windows between the sweep row and the seed row.
+  std::vector<double> seed_mean(m);
+  auto gather_seed = [&](std::size_t idx) {
+    const auto mean = mm.mean(idx);
+    std::copy(mean.begin(), mean.end(), seed_mean.begin());
+  };
+  gather_seed(seeds[0]);
   // dist2[i] = squared distance of mean(i) to the nearest chosen seed.
   std::vector<double> dist2(n);
   for (std::size_t i = 0; i < n; ++i) {
-    dist2[i] = common::SquaredDistance(mm.mean(i), mm.mean(seeds[0]));
+    dist2[i] = common::SquaredDistance(mm.mean(i), seed_mean);
   }
   while (seeds.size() < static_cast<std::size_t>(k)) {
     double total = 0.0;
@@ -72,24 +83,32 @@ std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentMatrix& mm,
       }
     }
     seeds.push_back(next);
+    gather_seed(next);
     for (std::size_t i = 0; i < n; ++i) {
-      dist2[i] = std::min(
-          dist2[i], common::SquaredDistance(mm.mean(i), mm.mean(next)));
+      dist2[i] =
+          std::min(dist2[i], common::SquaredDistance(mm.mean(i), seed_mean));
     }
   }
   return seeds;
 }
 
-std::vector<int> PartitionFromSeeds(const uncertain::MomentMatrix& mm,
+std::vector<int> PartitionFromSeeds(const uncertain::MomentView& mm,
                                     const std::vector<std::size_t>& seeds) {
   assert(!seeds.empty());
   const std::size_t n = mm.size();
+  const std::size_t m = mm.dims();
+  // Gather every seed mean once (flat k x m scratch): k seeds can span more
+  // chunks than a mapped view's per-thread window cache holds, and the
+  // [object, seed, object, seed] access pattern would thrash it.
+  const std::vector<double> seed_means = CentroidsFromObjects(mm, seeds);
   std::vector<int> labels(n);
   for (std::size_t i = 0; i < n; ++i) {
     int best = 0;
     double best_d = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < seeds.size(); ++c) {
-      const double d = common::SquaredDistance(mm.mean(i), mm.mean(seeds[c]));
+      const double d = common::SquaredDistance(
+          mm.mean(i),
+          std::span<const double>(seed_means.data() + c * m, m));
       if (d < best_d) {
         best_d = d;
         best = static_cast<int>(c);

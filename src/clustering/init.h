@@ -20,7 +20,7 @@ std::vector<std::size_t> RandomDistinctObjects(std::size_t n, int k,
 
 /// Copies the mean vectors of the selected objects into a flat k x m array.
 std::vector<double> CentroidsFromObjects(
-    const uncertain::MomentMatrix& moments,
+    const uncertain::MomentView& moments,
     const std::vector<std::size_t>& picks);
 
 /// D^2-weighted seeding over the expected-value vectors (k-means++ style,
@@ -28,13 +28,13 @@ std::vector<double> CentroidsFromObjects(
 /// random initialization: each next seed is drawn with probability
 /// proportional to the squared distance to the nearest chosen seed.
 /// Returns k distinct object indices.
-std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentMatrix& mm,
+std::vector<std::size_t> PlusPlusObjects(const uncertain::MomentView& mm,
                                          int k, common::Rng* rng);
 
 /// Partition induced by assigning every object to its nearest seed's mean —
 /// turns seed objects into an initial partition for the relocation local
 /// search. Every cluster is non-empty (each seed claims itself).
-std::vector<int> PartitionFromSeeds(const uncertain::MomentMatrix& mm,
+std::vector<int> PartitionFromSeeds(const uncertain::MomentView& mm,
                                     const std::vector<std::size_t>& seeds);
 
 /// How partitional algorithms pick their starting state.

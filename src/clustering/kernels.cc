@@ -35,7 +35,7 @@ int NearestCentroid(std::span<const double> point,
 }
 
 std::size_t AssignNearest(const engine::Engine& eng,
-                          const uncertain::MomentMatrix& mm,
+                          const uncertain::MomentView& mm,
                           std::span<const double> centroids, int k,
                           std::span<int> labels) {
   const std::size_t m = mm.dims();
@@ -58,7 +58,7 @@ std::size_t AssignNearest(const engine::Engine& eng,
 }
 
 void SumMeansByLabel(const engine::Engine& eng,
-                     const uncertain::MomentMatrix& mm,
+                     const uncertain::MomentView& mm,
                      std::span<const int> labels, int k,
                      std::vector<double>* sums,
                      std::vector<std::size_t>* counts) {
@@ -92,7 +92,7 @@ void SumMeansByLabel(const engine::Engine& eng,
 }
 
 double AssignmentObjective(const engine::Engine& eng,
-                           const uncertain::MomentMatrix& mm,
+                           const uncertain::MomentView& mm,
                            std::span<const int> labels,
                            std::span<const double> centroids) {
   const std::size_t m = mm.dims();

@@ -2,7 +2,7 @@
 //
 // The nearest-centroid / expected-distance inner loops used to be duplicated
 // across ukmeans.cc, basic_ukmeans.cc, and pruning call sites; they live
-// here once, formulated over MomentMatrix / SampleCache blocks and
+// here once, formulated over MomentView / SampleCache blocks and
 // dispatched through the execution engine. Every kernel is bit-identical
 // for any Engine thread count (fixed block partition + ordered reduction;
 // see engine/parallel_for.h).
@@ -40,7 +40,7 @@ int NearestCentroid(std::span<const double> point,
 /// UK-means assignment step, Eq. 8). Writes labels[i] and returns the number
 /// of labels that changed.
 std::size_t AssignNearest(const engine::Engine& eng,
-                          const uncertain::MomentMatrix& mm,
+                          const uncertain::MomentView& mm,
                           std::span<const double> centroids, int k,
                           std::span<int> labels);
 
@@ -48,7 +48,7 @@ std::size_t AssignNearest(const engine::Engine& eng,
 /// (the centroid-update numerators of Eq. 7). sums is resized to k*m and
 /// counts to k. Deterministic for any thread count.
 void SumMeansByLabel(const engine::Engine& eng,
-                     const uncertain::MomentMatrix& mm,
+                     const uncertain::MomentView& mm,
                      std::span<const int> labels, int k,
                      std::vector<double>* sums,
                      std::vector<std::size_t>* counts);
@@ -56,7 +56,7 @@ void SumMeansByLabel(const engine::Engine& eng,
 /// Closed-form UK-means objective of a labeling:
 /// sum_i [ sigma^2(o_i) + ||mu(o_i) - c_{label(i)}||^2 ].
 double AssignmentObjective(const engine::Engine& eng,
-                           const uncertain::MomentMatrix& mm,
+                           const uncertain::MomentView& mm,
                            std::span<const int> labels,
                            std::span<const double> centroids);
 

@@ -8,7 +8,7 @@
 
 namespace uclust::clustering {
 
-LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
+LocalSearchOutcome RunLocalSearch(const uncertain::MomentView& moments,
                                   int k, const LocalSearchParams& params,
                                   common::Rng* rng,
                                   const engine::Engine& eng) {
@@ -19,7 +19,7 @@ LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
   return RunLocalSearchFrom(moments, k, params, std::move(initial), eng);
 }
 
-LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
+LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentView& moments,
                                       int k, const LocalSearchParams& params,
                                       std::vector<int> initial_labels,
                                       const engine::Engine& eng) {

@@ -47,7 +47,7 @@ struct LocalSearchOutcome {
 /// move tie-breaking). Proposals depend only on the pass-start state and the
 /// application order is fixed, so labels, objective, and pass counts are
 /// bit-identical for any engine thread count.
-LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
+LocalSearchOutcome RunLocalSearch(const uncertain::MomentView& moments,
                                   int k, const LocalSearchParams& params,
                                   common::Rng* rng,
                                   const engine::Engine& eng =
@@ -55,7 +55,7 @@ LocalSearchOutcome RunLocalSearch(const uncertain::MomentMatrix& moments,
 
 /// Same as RunLocalSearch but starting from a caller-provided partition
 /// (labels in [0, k), every cluster non-empty).
-LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentMatrix& moments,
+LocalSearchOutcome RunLocalSearchFrom(const uncertain::MomentView& moments,
                                       int k, const LocalSearchParams& params,
                                       std::vector<int> initial_labels,
                                       const engine::Engine& eng =

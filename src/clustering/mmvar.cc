@@ -4,7 +4,7 @@
 
 namespace uclust::clustering {
 
-LocalSearchOutcome Mmvar::RunOnMoments(const uncertain::MomentMatrix& mm,
+LocalSearchOutcome Mmvar::RunOnMoments(const uncertain::MomentView& mm,
                                        int k, uint64_t seed,
                                        const Params& params,
                                        const engine::Engine& eng) {
@@ -19,7 +19,7 @@ LocalSearchOutcome Mmvar::RunOnMoments(const uncertain::MomentMatrix& mm,
 ClusteringResult Mmvar::Cluster(const data::UncertainDataset& data, int k,
                                 uint64_t seed) const {
   common::Stopwatch offline;
-  const uncertain::MomentMatrix& mm = data.moments();
+  const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;

@@ -29,13 +29,13 @@ class Mmvar final : public Clusterer {
 
   /// Kernel entry point for pre-packed moment statistics. Results are
   /// bit-identical for any engine thread count.
-  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentView& mm,
                                          int k, uint64_t seed,
                                          const Params& params,
                                          const engine::Engine& eng =
                                              engine::Engine::Serial());
   /// Kernel entry point with default parameters.
-  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentView& mm,
                                          int k, uint64_t seed) {
     return RunOnMoments(mm, k, seed, Params());
   }

@@ -4,7 +4,7 @@
 
 namespace uclust::clustering {
 
-LocalSearchOutcome Ucpc::RunOnMoments(const uncertain::MomentMatrix& mm,
+LocalSearchOutcome Ucpc::RunOnMoments(const uncertain::MomentView& mm,
                                       int k, uint64_t seed,
                                       const Params& params,
                                       const engine::Engine& eng) {
@@ -20,7 +20,7 @@ ClusteringResult Ucpc::Cluster(const data::UncertainDataset& data, int k,
                                uint64_t seed) const {
   // Line 1 of Algorithm 1 (moment precomputation) is the offline phase.
   common::Stopwatch offline;
-  const uncertain::MomentMatrix& mm = data.moments();
+  const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;

@@ -31,13 +31,13 @@ class Ucpc final : public Clusterer {
   /// Kernel entry point for pre-packed moment statistics (used by the
   /// scalability benches; numerically identical to Cluster()). Results are
   /// bit-identical for any engine thread count.
-  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentView& mm,
                                          int k, uint64_t seed,
                                          const Params& params,
                                          const engine::Engine& eng =
                                              engine::Engine::Serial());
   /// Kernel entry point with default parameters.
-  static LocalSearchOutcome RunOnMoments(const uncertain::MomentMatrix& mm,
+  static LocalSearchOutcome RunOnMoments(const uncertain::MomentView& mm,
                                          int k, uint64_t seed) {
     return RunOnMoments(mm, k, seed, Params());
   }

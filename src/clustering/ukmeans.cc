@@ -8,7 +8,7 @@
 
 namespace uclust::clustering {
 
-Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentMatrix& mm,
+Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentView& mm,
                                        int k, uint64_t seed,
                                        const Params& params,
                                        const engine::Engine& eng) {
@@ -61,7 +61,7 @@ Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentMatrix& mm,
 ClusteringResult Ukmeans::Cluster(const data::UncertainDataset& data, int k,
                                   uint64_t seed) const {
   common::Stopwatch offline;
-  const uncertain::MomentMatrix& mm = data.moments();
+  const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;

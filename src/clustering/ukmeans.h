@@ -39,12 +39,12 @@ class Ukmeans final : public Clusterer {
   /// Kernel entry point for pre-packed moment statistics. `eng` dispatches
   /// the assignment/update sweeps; the labels and objective are bit-identical
   /// for any engine thread count.
-  static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
+  static Outcome RunOnMoments(const uncertain::MomentView& mm, int k,
                               uint64_t seed, const Params& params,
                               const engine::Engine& eng =
                                   engine::Engine::Serial());
   /// Kernel entry point with default parameters.
-  static Outcome RunOnMoments(const uncertain::MomentMatrix& mm, int k,
+  static Outcome RunOnMoments(const uncertain::MomentView& mm, int k,
                               uint64_t seed) {
     return RunOnMoments(mm, k, seed, Params());
   }

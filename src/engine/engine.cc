@@ -10,6 +10,7 @@ namespace uclust::engine {
 Engine::Engine(const EngineConfig& config) {
   block_size_ = std::max<std::size_t>(config.block_size, 1);
   memory_budget_bytes_ = config.memory_budget_bytes;
+  moment_chunk_rows_ = config.moment_chunk_rows;
   int threads = config.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -34,6 +35,8 @@ EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
     config.memory_budget_bytes =
         static_cast<std::size_t>(args.GetInt("memory_budget_bytes", 0));
   }
+  config.moment_chunk_rows =
+      static_cast<std::size_t>(args.GetInt("moment_chunk_rows", 0));
   return config;
 }
 

@@ -34,12 +34,20 @@ struct EngineConfig {
   /// Objects per block in blocked-range loops. Fixed block boundaries are
   /// what make reductions independent of the thread count.
   std::size_t block_size = 1024;
-  /// Upper bound on the bytes a pairwise table may materialize at once.
-  /// 0 = unlimited (dense n x n tables, the classic behavior). A finite
-  /// budget makes every PairwiseStore consumer (UK-medoids, UAHC, FOPTICS,
-  /// FDBSCAN) switch to tiled or on-the-fly ED^ access, trading recompute
-  /// for bounded memory; clusterings are bit-identical either way.
+  /// Upper bound on the bytes a memory-hungry artifact may materialize at
+  /// once. 0 = unlimited (dense n x n tables, fully resident moment columns
+  /// — the classic behavior). A finite budget makes every PairwiseStore
+  /// consumer (UK-medoids, UAHC, FOPTICS, FDBSCAN) switch to tiled or
+  /// on-the-fly ED^ access, and makes file-backed moment ingestion
+  /// (io::StreamMomentStoreFromFile) spill moment columns whose resident
+  /// size exceeds the budget to an mmap-backed .umom sidecar; clusterings
+  /// are bit-identical either way.
   std::size_t memory_budget_bytes = 0;
+  /// Rows per chunk of a Mapped moment store (io::MappedMomentStore).
+  /// Rounded up to a power of two by consumers; 0 = the format default
+  /// (io::kDefaultMomentChunkRows, 4096). Changes chunk/prefetch
+  /// granularity and the span-validity window, never the served values.
+  std::size_t moment_chunk_rows = 0;
 };
 
 /// Copyable handle bundling an EngineConfig with a (shared) thread pool.
@@ -60,20 +68,25 @@ class Engine {
   }
   /// Block size for blocked-range loops (>= 1).
   std::size_t block_size() const { return block_size_; }
-  /// Pairwise-table memory budget in bytes (0 = unlimited).
+  /// Memory budget in bytes for pairwise tables and moment columns
+  /// (0 = unlimited).
   std::size_t memory_budget_bytes() const { return memory_budget_bytes_; }
+  /// Mapped moment-store chunk-rows hint (0 = format default).
+  std::size_t moment_chunk_rows() const { return moment_chunk_rows_; }
   /// The pool, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
  private:
   std::size_t block_size_ = 1024;
   std::size_t memory_budget_bytes_ = 0;
+  std::size_t moment_chunk_rows_ = 0;
   std::shared_ptr<ThreadPool> pool_;
 };
 
-/// Reads `--threads=N` (0 = auto), `--block_size=B`, and
+/// Reads `--threads=N` (0 = auto), `--block_size=B`,
 /// `--memory_budget_bytes=B` (or the `--memory_budget_mb=M` convenience
-/// form; bytes win when both are given, 0 = unlimited) from parsed flags.
+/// form; bytes win when both are given, 0 = unlimited), and
+/// `--moment_chunk_rows=R` (0 = default) from parsed flags.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

@@ -24,7 +24,7 @@ struct Agg {
 
 }  // namespace
 
-double EdNormalizer(const uncertain::MomentMatrix& moments,
+double EdNormalizer(const uncertain::MomentView& moments,
                     Normalization normalization) {
   const std::size_t n = moments.size();
   const std::size_t m = moments.dims();
@@ -69,7 +69,7 @@ double EdNormalizer(const uncertain::MomentMatrix& moments,
   return 1.0;
 }
 
-InternalQuality EvaluateInternal(const uncertain::MomentMatrix& moments,
+InternalQuality EvaluateInternal(const uncertain::MomentView& moments,
                                  const std::vector<int>& labels, int k,
                                  Normalization normalization) {
   const std::size_t n = moments.size();

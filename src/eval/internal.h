@@ -38,14 +38,14 @@ struct InternalQuality {
 /// must be in [0, k). Singleton clusters contribute 0 to the intra average
 /// (the paper's formula is undefined for them); cluster pairs both count
 /// toward the inter average.
-InternalQuality EvaluateInternal(const uncertain::MomentMatrix& moments,
+InternalQuality EvaluateInternal(const uncertain::MomentView& moments,
                                  const std::vector<int>& labels, int k,
                                  Normalization normalization =
                                      Normalization::kUpperBound);
 
 /// The normalizer value for a dataset under the given policy (exposed for
 /// tests and for reporting).
-double EdNormalizer(const uncertain::MomentMatrix& moments,
+double EdNormalizer(const uncertain::MomentView& moments,
                     Normalization normalization);
 
 }  // namespace uclust::eval

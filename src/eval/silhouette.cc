@@ -6,7 +6,7 @@
 
 namespace uclust::eval {
 
-SilhouetteResult ExpectedSilhouette(const uncertain::MomentMatrix& moments,
+SilhouetteResult ExpectedSilhouette(const uncertain::MomentView& moments,
                                     const std::vector<int>& labels, int k) {
   const std::size_t n = moments.size();
   const std::size_t m = moments.dims();

@@ -26,7 +26,7 @@ struct SilhouetteResult {
 /// Computes the expected-distance silhouette of a hard partition. Labels
 /// must be in [0, k); requires k >= 2 with at least two non-empty clusters
 /// (otherwise mean = 0).
-SilhouetteResult ExpectedSilhouette(const uncertain::MomentMatrix& moments,
+SilhouetteResult ExpectedSilhouette(const uncertain::MomentView& moments,
                                     const std::vector<int>& labels, int k);
 
 }  // namespace uclust::eval

@@ -44,6 +44,9 @@ class BinaryDatasetReader {
   bool has_labels() const { return has_labels_; }
   /// Objects not yet handed out by ReadBatch().
   std::size_t remaining() const { return n_ - cursor_; }
+  /// Physical byte size of the open file — recorded into derived .umom
+  /// moment sidecars as a cheap staleness guard for reuse.
+  uint64_t file_bytes() const { return file_size_; }
 
   /// Deserializes the next min(max, remaining()) objects into `*out`
   /// (cleared first; empty at end of stream). `max` must be > 0.

@@ -1,12 +1,22 @@
-// File-backed streaming ingestion: binary dataset file -> MomentMatrix in
-// one bounded-memory pass.
+// File-backed streaming ingestion: binary dataset file -> moment statistics
+// in one bounded-memory pass.
 //
 // FileObjectSource adapts BinaryDatasetReader to the ObjectSource interface
 // consumed by uncertain::DatasetBuilder, so file-backed and in-memory
 // datasets share one ingestion path and produce bit-identical moments for
-// any batch size and engine thread count (tests/test_io.cc). Peak memory is
-// the O(n m) moment columns plus one batch of pdf objects — raw samples and
-// pdf parameters of the full dataset are never resident at once.
+// any batch size and engine thread count (tests/test_io.cc).
+//
+// Two entry points sit on top:
+//
+//   * StreamMomentsFromFile — the classic fully-resident MomentMatrix; peak
+//     memory is the O(n m) moment columns plus one batch of pdf objects.
+//   * StreamMomentStoreFromFile — returns a MomentStore whose backend is
+//     selected by EngineConfig::memory_budget_bytes: Resident when the
+//     columns fit the budget (or it is unlimited), Mapped otherwise. On the
+//     Mapped path the builder spills each batch straight into a .umom
+//     sidecar (see moment_file.h), so peak memory is O(batch + chunk)
+//     regardless of n, and a valid matching sidecar from an earlier run is
+//     reused instead of rebuilt.
 #ifndef UCLUST_IO_INGEST_H_
 #define UCLUST_IO_INGEST_H_
 
@@ -17,6 +27,7 @@
 #include "engine/engine.h"
 #include "io/dataset_reader.h"
 #include "uncertain/dataset_builder.h"
+#include "uncertain/moment_store.h"
 #include "uncertain/moments.h"
 
 namespace uclust::io {
@@ -50,6 +61,55 @@ common::Result<uncertain::MomentMatrix> StreamMomentsFromFile(
     const engine::Engine& eng = engine::Engine::Serial(),
     std::size_t batch_size = uncertain::DatasetBuilder::kDefaultBatchSize,
     std::vector<int>* labels = nullptr, std::string* dataset_name = nullptr);
+
+/// How StreamMomentStoreFromFile picks the MomentStore backend.
+enum class MomentBackendChoice {
+  kAuto,      ///< Resident iff the columns fit eng.memory_budget_bytes()
+              ///< (0 = unlimited = Resident, mirroring PairwiseStore).
+  kResident,  ///< Force the flat in-memory columns.
+  kMapped,    ///< Force the mmap-backed .umom sidecar.
+};
+
+/// Tuning of a StreamMomentStoreFromFile call.
+struct MomentStoreOptions {
+  MomentBackendChoice backend = MomentBackendChoice::kAuto;
+  /// Rows per sidecar chunk; 0 = the engine's moment_chunk_rows hint, then
+  /// the format default. Rounded up to a power of two.
+  std::size_t chunk_rows = 0;
+  /// Sidecar location; "" = dataset path + ".umom".
+  std::string sidecar_path;
+  /// Reuse an existing sidecar when its header matches the dataset (same n,
+  /// m, source byte size, last-write time, AND content probe — the
+  /// staleness guard written at build time, so in-place regenerations that
+  /// reproduce the byte count are still caught) and its chunks are no
+  /// larger than the effective chunk requirement (explicit hint or
+  /// budget-derived size — larger chunks would exceed the window-memory
+  /// bound; smaller ones only cost extra faults). A mismatched or invalid
+  /// sidecar is silently rebuilt; set false to force a rebuild regardless.
+  bool reuse_sidecar = true;
+  /// Streaming batch size for the ingestion pass.
+  std::size_t batch_size = uncertain::DatasetBuilder::kDefaultBatchSize;
+};
+
+/// Streams `path` into a MomentStore whose backend is selected by the
+/// engine's memory budget (see MomentStoreOptions to force one).
+/// `labels`/`dataset_name` (optional) receive the file's labels column and
+/// stored name. Both backends serve bit-identical moment statistics.
+common::Result<uncertain::MomentStorePtr> StreamMomentStoreFromFile(
+    const std::string& path,
+    const engine::Engine& eng = engine::Engine::Serial(),
+    const MomentStoreOptions& options = {},
+    std::vector<int>* labels = nullptr, std::string* dataset_name = nullptr);
+
+/// Builds (or rebuilds) the .umom moment sidecar for a binary dataset file
+/// in one bounded-memory pass: reader batches -> DatasetBuilder spill mode
+/// -> MomentFileWriter. Used by `dataset_gen --emit-moments` and by the
+/// Mapped path of StreamMomentStoreFromFile.
+common::Status BuildMomentSidecar(
+    const std::string& dataset_path, const std::string& sidecar_path,
+    const engine::Engine& eng = engine::Engine::Serial(),
+    std::size_t chunk_rows = 0,
+    std::size_t batch_size = uncertain::DatasetBuilder::kDefaultBatchSize);
 
 }  // namespace uclust::io
 

@@ -19,37 +19,38 @@ std::span<const UncertainObject> VectorObjectSource::NextBatch(
 }
 
 void DatasetBuilder::AddBatch(std::span<const UncertainObject> batch) {
-  if (batch.empty()) return;
+  if (batch.empty() || !sink_status_.ok()) return;
   if (m_ == 0) m_ = batch[0].dims();
-  const std::size_t base = n_;
+  // Resident mode packs at the absolute row offset; spill mode packs the
+  // batch at offset 0 of the reused scratch block and forwards it. Either
+  // way every row goes through the canonical MomentMatrix::PackRow.
+  const std::size_t base = sink_ == nullptr ? n_ : 0;
   n_ += batch.size();
-  mean_.resize(n_ * m_);
-  mu2_.resize(n_ * m_);
-  var_.resize(n_ * m_);
-  total_var_.resize(n_);
+  mean_.resize((base + batch.size()) * m_);
+  mu2_.resize((base + batch.size()) * m_);
+  var_.resize((base + batch.size()) * m_);
+  total_var_.resize(base + batch.size());
   engine::ParallelFor(engine_, batch.size(),
                       [&](const engine::BlockedRange& r) {
     for (std::size_t i = r.begin; i < r.end; ++i) {
       const UncertainObject& o = batch[i];
       assert(o.dims() == m_);
       const std::size_t row = (base + i) * m_;
-      std::copy(o.mean().begin(), o.mean().end(), mean_.begin() + row);
-      std::copy(o.second_moment().begin(), o.second_moment().end(),
-                mu2_.begin() + row);
-      std::copy(o.variance().begin(), o.variance().end(), var_.begin() + row);
-      // Summed in dimension order, matching MomentMatrix::AppendRow (the
-      // object's cached total_variance() is the same sum; recomputing here
-      // keeps the bit-identity contract independent of that cache).
-      double tv = 0.0;
-      for (std::size_t j = 0; j < m_; ++j) tv += var_[row + j];
-      total_var_[base + i] = tv;
+      MomentMatrix::PackRow(o.mean(), o.second_moment(), o.variance(),
+                            mean_.data() + row, mu2_.data() + row,
+                            var_.data() + row, total_var_.data() + base + i);
     }
   });
+  if (sink_ != nullptr) {
+    sink_status_ = sink_->AppendRows(batch.size(), m_, mean_.data(),
+                                     mu2_.data(), var_.data(),
+                                     total_var_.data());
+  }
 }
 
 void DatasetBuilder::Consume(ObjectSource* source, std::size_t batch_size) {
   assert(source != nullptr && batch_size > 0);
-  for (;;) {
+  while (sink_status_.ok()) {
     const auto batch = source->NextBatch(batch_size);
     if (batch.empty()) break;
     AddBatch(batch);
@@ -57,6 +58,8 @@ void DatasetBuilder::Consume(ObjectSource* source, std::size_t batch_size) {
 }
 
 MomentMatrix DatasetBuilder::Build() {
+  assert(sink_ == nullptr && "Build() is for resident mode; a spill-mode "
+                             "builder's rows already went to the sink");
   return MomentMatrix::FromColumns(n_, m_, std::move(mean_), std::move(mu2_),
                                    std::move(var_), std::move(total_var_));
 }

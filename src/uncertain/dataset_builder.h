@@ -1,24 +1,33 @@
 // Bounded-memory moment ingestion (the streaming form of Algorithm 1's
 // "Line 1" precomputation).
 //
-// The fast algorithms (UK-means, MMVar, UCPC) consume only the MomentMatrix,
-// so a dataset never needs to be resident as pdf objects: a DatasetBuilder
-// consumes uncertain objects batch-by-batch — from any ObjectSource — and
-// packs their first/second moments and variances incrementally. Peak memory
-// is O(n m) for the moment columns plus O(batch) for the objects in flight,
-// independent of how large the raw dataset (file) is.
+// The fast algorithms (UK-means, MMVar, UCPC) consume only moment
+// statistics, so a dataset never needs to be resident as pdf objects: a
+// DatasetBuilder consumes uncertain objects batch-by-batch — from any
+// ObjectSource — and packs their first/second moments and variances
+// incrementally through the canonical MomentMatrix::PackRow path. It writes
+// straight into either MomentStore backend:
 //
-// Determinism contract: the produced MomentMatrix is bit-identical to
+//   * resident mode (default): rows accumulate in flat columns; Build()
+//     finalizes them into a MomentMatrix. Peak memory is O(n m).
+//   * spill mode (a MomentSink is attached): each batch is packed into an
+//     O(batch m) scratch block and forwarded to the sink — in practice the
+//     .umom sidecar writer behind the Mapped backend — so the full columns
+//     are NEVER materialized; peak memory is O(batch m) regardless of n.
+//
+// Determinism contract: both modes produce bytes bit-identical to
 // MomentMatrix::FromObjects over the same object sequence, for ANY batch
 // partition and ANY engine thread count (rows land at absolute offsets; the
-// per-row total-variance sum always runs in dimension order).
+// per-row total-variance sum always runs in dimension order inside PackRow).
 #ifndef UCLUST_UNCERTAIN_DATASET_BUILDER_H_
 #define UCLUST_UNCERTAIN_DATASET_BUILDER_H_
 
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/engine.h"
+#include "uncertain/moment_store.h"
 #include "uncertain/moments.h"
 #include "uncertain/uncertain_object.h"
 
@@ -51,34 +60,47 @@ class VectorObjectSource final : public ObjectSource {
   std::size_t cursor_ = 0;
 };
 
-/// Incremental MomentMatrix builder. Feed batches (or whole sources), then
-/// Build() once; the builder must not be reused afterwards.
+/// Incremental moment builder. Feed batches (or whole sources), then Build()
+/// once (resident mode) or let the sink's Finish() seal the file (spill
+/// mode); the builder must not be reused afterwards.
 class DatasetBuilder {
  public:
   /// Default batch granularity used by Consume()-style entry points.
   static constexpr std::size_t kDefaultBatchSize = 4096;
 
+  /// Resident mode: rows accumulate into flat columns for Build().
   explicit DatasetBuilder(const engine::Engine& eng = engine::Engine::Serial())
       : engine_(eng) {}
+
+  /// Spill mode: every batch is forwarded to `sink` (which must outlive the
+  /// builder); Build() must not be called. Sink failures surface through
+  /// status() and stop Consume() early.
+  DatasetBuilder(const engine::Engine& eng, MomentSink* sink)
+      : engine_(eng), sink_(sink) {}
 
   /// Appends one object's moment row.
   void Add(const UncertainObject& o) { AddBatch({&o, 1}); }
 
   /// Appends one batch; rows are packed concurrently via the engine's
   /// ParallelFor (each row is an independent write, so any thread count
-  /// yields identical columns).
+  /// yields identical columns). No-op after a sink failure.
   void AddBatch(std::span<const UncertainObject> batch);
 
-  /// Drains `source` in batches of `batch_size`.
+  /// Drains `source` in batches of `batch_size` (stops early on a sink
+  /// failure; check status()).
   void Consume(ObjectSource* source,
                std::size_t batch_size = kDefaultBatchSize);
+
+  /// Error state of the attached sink (always OK in resident mode).
+  const common::Status& status() const { return sink_status_; }
 
   /// Objects ingested so far.
   std::size_t size() const { return n_; }
   /// Dimensionality (0 until the first object arrives).
   std::size_t dims() const { return m_; }
 
-  /// Finalizes into a MomentMatrix (moves the columns out).
+  /// Finalizes into a MomentMatrix (moves the columns out). Resident mode
+  /// only.
   MomentMatrix Build();
 
   /// One-shot convenience: drains `source` and returns the matrix.
@@ -88,8 +110,12 @@ class DatasetBuilder {
 
  private:
   engine::Engine engine_;
+  MomentSink* sink_ = nullptr;
+  common::Status sink_status_;
   std::size_t n_ = 0;
   std::size_t m_ = 0;
+  // Resident mode: the full columns. Spill mode: O(batch m) scratch reused
+  // across batches.
   std::vector<double> mean_;
   std::vector<double> mu2_;
   std::vector<double> var_;

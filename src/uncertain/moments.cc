@@ -1,8 +1,11 @@
 #include "uncertain/moments.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace uclust::uncertain {
+
+MomentChunkSource::~MomentChunkSource() = default;
 
 MomentMatrix::MomentMatrix(std::size_t n, std::size_t m) : m_(m) {
   mean_.reserve(n * m);
@@ -37,17 +40,33 @@ MomentMatrix MomentMatrix::FromColumns(std::size_t n, std::size_t m,
   return mm;
 }
 
+void MomentMatrix::PackRow(std::span<const double> mean,
+                           std::span<const double> mu2,
+                           std::span<const double> var, double* mean_dst,
+                           double* mu2_dst, double* var_dst,
+                           double* total_var_dst) {
+  const std::size_t m = mean.size();
+  assert(mu2.size() == m && var.size() == m);
+  std::copy(mean.begin(), mean.end(), mean_dst);
+  std::copy(mu2.begin(), mu2.end(), mu2_dst);
+  std::copy(var.begin(), var.end(), var_dst);
+  double tv = 0.0;
+  for (std::size_t j = 0; j < m; ++j) tv += var[j];
+  *total_var_dst = tv;
+}
+
 void MomentMatrix::AppendRow(std::span<const double> mean,
                              std::span<const double> mu2,
                              std::span<const double> var) {
   if (n_ == 0 && m_ == 0) m_ = mean.size();
   assert(mean.size() == m_ && mu2.size() == m_ && var.size() == m_);
-  mean_.insert(mean_.end(), mean.begin(), mean.end());
-  mu2_.insert(mu2_.end(), mu2.begin(), mu2.end());
-  var_.insert(var_.end(), var.begin(), var.end());
-  double tv = 0.0;
-  for (double v : var) tv += v;
-  total_var_.push_back(tv);
+  const std::size_t row = n_ * m_;
+  mean_.resize(row + m_);
+  mu2_.resize(row + m_);
+  var_.resize(row + m_);
+  total_var_.resize(n_ + 1);
+  PackRow(mean, mu2, var, mean_.data() + row, mu2_.data() + row,
+          var_.data() + row, total_var_.data() + n_);
   ++n_;
 }
 
