@@ -8,10 +8,13 @@
 // speedup of the execution engine at the 100% size, sweeps the
 // PairwiseStore backend axis (dense / tiled / on-the-fly ED^ tables) on an
 // object-backed UK-medoids workload with peak-RSS and peak-table-memory
-// accounting, sweeps the MomentStore backend axis (resident columns vs the
-// mmap-backed .umom sidecar) on the fast group with moments-bytes-resident
-// accounting, and persists everything to a machine-readable
-// BENCH_fig5_scalability.json (see --json_out).
+// accounting, sweeps the tile-policy axis (full sweep vs gather tiles vs
+// gather + warm rows, with kernel-eval and warm-hit counters) plus an
+// FDBSCAN pruned-vs-unpruned sweep on a mix-family dataset, sweeps the
+// MomentStore backend axis (resident columns vs the mmap-backed .umom
+// sidecar) on the fast group with moments-bytes-resident accounting, and
+// persists everything to a machine-readable BENCH_fig5_scalability.json
+// (see --json_out).
 //
 // Flags:
 //   --dataset=PATH    file-backed mode: sweep prefixes of a binary dataset
@@ -28,9 +31,12 @@
 //   --with_pruning    also time bUKM/MinMax-BB/VDBiP (object-backed; the
 //                     base size is then capped at --pruning_cap)
 //   --pruning_cap=N   cap for the pruning sweep  (default 8000)
-//   --pairwise_n=N    size of the backend-axis sweep (default 1500; 0
-//                     skips it)
+//   --pairwise_n=N    size of the backend/tile-policy axis sweeps
+//                     (default 1500; 0 skips them)
 //   --pairwise_budget_mb=M  tiled-backend budget   (default 4)
+//   --pairwise_gather_tiles/--pairwise_warm_rows/--pairwise_pruned_sweeps
+//                     engine tile-policy knobs for the main sweeps (the
+//                     tile-policy axis sweeps them itself)
 //   --seed=S          master seed                (default 1)
 #include <algorithm>
 #include <cstdio>
@@ -40,12 +46,15 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
+#include "clustering/fdbscan.h"
 #include "clustering/mmvar.h"
 #include "clustering/ucpc.h"
 #include "clustering/ukmeans.h"
 #include "clustering/ukmedoids.h"
 #include "common/cli.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "data/benchmark_gen.h"
 #include "data/kdd_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
@@ -411,6 +420,133 @@ int main(int argc, char** argv) {
       json.EndObject();
     }
     json.EndArray();
+
+    // Tile-policy axis: the same tiled UK-medoids workload under the three
+    // policy levels — the classic full-table swap sweep, asymmetric gather
+    // tiles, and gather tiles plus warm-row reuse. Labels must agree
+    // bit-for-bit; what changes is kernel evaluations (the swap sweep reads
+    // member x member slabs instead of full tiles) and warm hit rates.
+    // The budget is capped at a quarter of the dense table so the axis
+    // always exercises the tiled backend, even at CI sizes where the
+    // configured budget would let the dense table fit.
+    const std::size_t policy_budget = std::min(
+        tiled_budget, ds.size() * ds.size() * sizeof(double) / 4);
+    std::printf("\n[tile policy axis: UK-medoids tiled at n=%zu, budget = "
+                "%zu KiB]\n",
+                ds.size(), policy_budget >> 10);
+    std::printf("%14s | %10s %14s %10s %10s %8s\n", "policy", "online",
+                "kernel_evals", "warm_hits", "warm_miss", "labels");
+    json.Key("tile_policies");
+    json.BeginArray();
+    struct Policy {
+      const char* name;
+      bool gather;
+      bool warm;
+    };
+    const Policy policies[] = {{"full", false, false},
+                               {"gather", true, false},
+                               {"gather+warm", true, true}};
+    std::vector<int> full_labels;
+    for (const Policy& policy : policies) {
+      engine::EngineConfig pc = engine_config;
+      pc.memory_budget_bytes = policy_budget;
+      pc.pairwise_gather_tiles = policy.gather;
+      pc.pairwise_warm_rows = policy.warm;
+      clustering::UkMedoids algo(mp);
+      algo.set_engine(engine::Engine(pc));
+      const clustering::ClusteringResult r = algo.Cluster(ds, k, seed);
+      if (full_labels.empty()) full_labels = r.labels;
+      const bool labels_match = r.labels == full_labels;
+      std::printf("%14s | %8.1fms %14lld %10lld %10lld %8s\n", policy.name,
+                  r.online_ms, static_cast<long long>(r.pair_evaluations),
+                  static_cast<long long>(r.tile_warm_hits),
+                  static_cast<long long>(r.tile_warm_misses),
+                  labels_match ? "match" : "MISMATCH!");
+      json.BeginObject();
+      json.KV("policy", policy.name);
+      json.KV("backend", r.pairwise_backend);
+      json.KV("n", ds.size());
+      json.KV("online_ms", r.online_ms);
+      json.KV("iterations", r.iterations);
+      json.KV("pair_evaluations", r.pair_evaluations);
+      json.KV("tile_warm_hits", r.tile_warm_hits);
+      json.KV("tile_warm_misses", r.tile_warm_misses);
+      json.KV("table_bytes_peak", r.table_bytes_peak);
+      json.KV("labels_match_full", labels_match);
+      json.EndObject();
+    }
+    json.EndArray();
+
+    // FDBSCAN pruned-sweep axis on a mix-family dataset: per-dimension pdfs
+    // cycle uniform / normal / exponential, exercising every bounded-support
+    // shape the spatial bounds must cover. The pruned sweep must reproduce
+    // the unpruned labels while evaluating strictly fewer pairs.
+    {
+      const data::DeterministicDataset det = data::MakeGaussianMixture(
+          [&] {
+            data::MixtureParams gp;
+            gp.n = std::max<std::size_t>(pairwise_n, 32);
+            gp.dims = 3;
+            gp.classes = std::min(k, 6);
+            gp.min_separation = 0.4;
+            return gp;
+          }(),
+          seed + 5, "fig5-mix");
+      common::Rng scale_rng(seed + 6);
+      std::vector<uncertain::UncertainObject> mix_objects;
+      mix_objects.reserve(det.size());
+      constexpr data::PdfFamily kFamilies[] = {data::PdfFamily::kUniform,
+                                               data::PdfFamily::kNormal,
+                                               data::PdfFamily::kExponential};
+      for (std::size_t i = 0; i < det.size(); ++i) {
+        std::vector<uncertain::PdfPtr> dims;
+        dims.reserve(det.dims());
+        for (std::size_t j = 0; j < det.dims(); ++j) {
+          const double scale = 0.01 + 0.02 * scale_rng.Uniform();
+          dims.push_back(data::MakeUncertainPdf(
+              kFamilies[(i + j) % 3], det.points[i][j], scale));
+        }
+        mix_objects.emplace_back(std::move(dims));
+      }
+      const data::UncertainDataset mix_ds("fig5-mix", std::move(mix_objects),
+                                          det.labels, det.num_classes);
+      clustering::Fdbscan::Params fp;
+      fp.eps = 0.1;  // below the class separation: cross-class pairs prune
+      std::printf("\n[fdbscan pruned-sweep axis: mix-family dataset, "
+                  "n=%zu]\n",
+                  mix_ds.size());
+      std::printf("%10s | %10s %14s %14s %8s\n", "sweep", "online",
+                  "kernel_evals", "pairs_pruned", "labels");
+      json.Key("fdbscan_pruning");
+      json.BeginArray();
+      std::vector<int> unpruned_labels;
+      for (const bool pruned : {false, true}) {
+        engine::EngineConfig pc = engine_config;
+        pc.memory_budget_bytes = tiled_budget;
+        pc.pairwise_pruned_sweeps = pruned;
+        clustering::Fdbscan algo(fp);
+        algo.set_engine(engine::Engine(pc));
+        const clustering::ClusteringResult r = algo.Cluster(mix_ds, k, seed);
+        if (unpruned_labels.empty()) unpruned_labels = r.labels;
+        const bool labels_match = r.labels == unpruned_labels;
+        std::printf("%10s | %8.1fms %14lld %14lld %8s\n",
+                    pruned ? "pruned" : "unpruned", r.online_ms,
+                    static_cast<long long>(r.pair_evaluations),
+                    static_cast<long long>(r.pairs_pruned),
+                    labels_match ? "match" : "MISMATCH!");
+        json.BeginObject();
+        json.KV("sweep", pruned ? "pruned" : "unpruned");
+        json.KV("backend", r.pairwise_backend);
+        json.KV("n", mix_ds.size());
+        json.KV("online_ms", r.online_ms);
+        json.KV("pair_evaluations", r.pair_evaluations);
+        json.KV("pairs_pruned", r.pairs_pruned);
+        json.KV("clusters_found", r.clusters_found);
+        json.KV("labels_match_unpruned", labels_match);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
   }
 
   if (with_pruning) {

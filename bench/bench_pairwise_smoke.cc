@@ -18,6 +18,15 @@
 //   [pairwise smoke] RESULT=OK    clustered within its own budget
 //   [pairwise smoke] RESULT=FAIL  clustered but violated budget/shape checks
 //
+// Budgeted runs with the gather-tile policy enabled additionally emit a
+// tile-policy marker with the run's kernel-eval and warm-row counters:
+//
+//   [pairwise smoke] TILE_POLICY RESULT=OK|FAIL gather=.. warm=.. evals=..
+//
+// TILE_POLICY RESULT=OK asserts the gather-tile swap sweep actually beat
+// the full-table sweep's evaluation count (< iterations * n * (n - 1), the
+// floor of the legacy policy on a recomputing backend).
+//
 // Exit code: 0 for OK, 1 for FAIL, 3 for OOM.
 //
 // Flags:
@@ -99,6 +108,28 @@ int Run(int argc, char** argv) {
                  r.table_bytes_peak, budget_floor);
     std::printf("[pairwise smoke] RESULT=FAIL\n");
     return 1;
+  }
+  if (config.memory_budget_bytes > 0 && config.pairwise_gather_tiles) {
+    // The legacy full-table swap sweep costs n * (n - 1) evaluations per
+    // iteration on a recomputing backend; the gather-tile policy must land
+    // strictly below that floor.
+    const int64_t full_sweep_floor = static_cast<int64_t>(r.iterations) *
+                                     static_cast<int64_t>(n) *
+                                     static_cast<int64_t>(n - 1);
+    const bool tile_ok = r.pair_evaluations < full_sweep_floor;
+    std::printf("[pairwise smoke] TILE_POLICY RESULT=%s gather=%d warm=%d "
+                "evals=%lld full_sweep_floor=%lld warm_hits=%lld "
+                "warm_misses=%lld\n",
+                tile_ok ? "OK" : "FAIL", config.pairwise_gather_tiles ? 1 : 0,
+                config.pairwise_warm_rows ? 1 : 0,
+                static_cast<long long>(r.pair_evaluations),
+                static_cast<long long>(full_sweep_floor),
+                static_cast<long long>(r.tile_warm_hits),
+                static_cast<long long>(r.tile_warm_misses));
+    if (!tile_ok) {
+      std::printf("[pairwise smoke] RESULT=FAIL\n");
+      return 1;
+    }
   }
   std::printf("[pairwise smoke] RESULT=OK\n");
   return 0;

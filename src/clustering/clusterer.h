@@ -42,11 +42,24 @@ struct ClusteringResult {
   /// empty for algorithms without a pairwise phase.
   std::string pairwise_backend;
   /// Peak bytes of storage the PairwiseStore materialized at any one time
-  /// (dense table, cached tiles, or streaming scratch). 0 without a
-  /// pairwise phase. Not included: algorithm-side working state outside the
-  /// store — in particular UAHC's Lance-Williams overlay, which holds one
-  /// distance row per alive merge-product cluster (see uahc.h).
+  /// (dense table, cached tiles, warm rows, or streaming scratch). 0
+  /// without a pairwise phase. Not included: algorithm-side working state
+  /// outside the store — in particular UAHC's Lance-Williams overlay, which
+  /// holds one distance row per alive merge-product cluster (see uahc.h).
   std::size_t table_bytes_peak = 0;
+  /// Total pairwise kernel evaluations the run performed (closed-form and
+  /// sampled alike — unlike ed_evaluations, which counts only sample
+  /// integrations). The recompute cost the tile policies minimize. 0
+  /// without a pairwise phase.
+  int64_t pair_evaluations = 0;
+  /// Gathered rows the PairwiseStore served without kernel work (warm
+  /// cache, dense table, or resident tile).
+  int64_t tile_warm_hits = 0;
+  /// Gathered rows the PairwiseStore had to compute.
+  int64_t tile_warm_misses = 0;
+  /// Sweep pairs skipped by cheap spatial bounds instead of evaluated
+  /// (the pruned-sweep policy; see clustering::PairwiseBoundIndex).
+  int64_t pairs_pruned = 0;
 };
 
 /// Abstract clustering algorithm over uncertain datasets.

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "clustering/pairwise_store.h"
+#include "clustering/pruning.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
@@ -98,18 +99,32 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
   // Pairwise distance probabilities: one streaming upper-triangle sweep
   // through the pairwise store (each pair evaluated once, in parallel row
   // blocks, only bounded scratch materialized), then mirrored serially into
-  // the sparse adjacency.
+  // the sparse adjacency. Under the pruned-sweep policy, pairs whose
+  // regions are provably farther apart than eps are skipped before any
+  // kernel evaluation: every realization pair is then beyond eps, so the
+  // distance probability is exactly the 0 the kernel would have produced —
+  // labels stay bit-identical, only the evaluation count drops.
   PairwiseStore store(
       eng, kernels::PairwiseKernel::DistanceProbability(cache, eps));
   std::vector<std::vector<std::pair<std::size_t, double>>> upper(n);
-  store.VisitUpperTriangle([&](std::size_t i, std::span<const double> tail) {
+  const auto sweep = [&](std::size_t i, std::span<const double> tail) {
     for (std::size_t t = 0; t < tail.size(); ++t) {
       if (tail[t] > 0.0) upper[i].emplace_back(i + 1 + t, tail[t]);
     }
-  });
+  };
+  if (eng.pairwise_pruned_sweeps()) {
+    const PairwiseBoundIndex bounds(data.objects());
+    store.VisitUpperTriangle(sweep, [&](std::size_t i, std::size_t j) {
+      return bounds.ProvablyBeyond(i, j, eps);
+    });
+  } else {
+    store.VisitUpperTriangle(sweep);
+  }
   result.ed_evaluations += store.ed_evaluations();
   result.pairwise_backend = PairwiseBackendName(store.backend());
   result.table_bytes_peak = store.table_bytes_peak();
+  result.pair_evaluations = store.evaluations();
+  result.pairs_pruned = store.pruned_pairs();
   std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (const auto& [j, p] : upper[i]) {

@@ -9,6 +9,15 @@
 // whose core probability reaches the core threshold seed clusters; expansion
 // follows pairs whose distance probability reaches the reachability
 // threshold.
+//
+// The pairwise sweep streams through clustering::PairwiseStore (bounded
+// scratch on every backend; the table is never retained). Under the
+// pruned-sweep policy (EngineConfig::pairwise_pruned_sweeps, default on)
+// pairs whose domain regions are provably farther apart than eps — per
+// clustering::PairwiseBoundIndex — are skipped before any kernel
+// evaluation: their distance probability is exactly 0, so labels are
+// bit-identical and only ClusteringResult::pair_evaluations/pairs_pruned
+// change.
 #ifndef UCLUST_CLUSTERING_FDBSCAN_H_
 #define UCLUST_CLUSTERING_FDBSCAN_H_
 

@@ -189,6 +189,9 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   result.ed_evaluations += store.ed_evaluations();
   result.pairwise_backend = PairwiseBackendName(store.backend());
   result.table_bytes_peak = store.table_bytes_peak();
+  result.pair_evaluations = store.evaluations();
+  result.tile_warm_hits = store.warm_hits();
+  result.tile_warm_misses = store.warm_misses();
   return result;
 }
 

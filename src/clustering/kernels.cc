@@ -173,6 +173,145 @@ int64_t FillRowTile(const engine::Engine& eng, const PairwiseKernel& kernel,
   return total;
 }
 
+int64_t FillUpperRowTilePruned(const engine::Engine& eng,
+                               const PairwiseKernel& kernel,
+                               std::size_t row_begin, std::size_t row_end,
+                               double* out, const PairSkipTest& skip,
+                               int64_t* pruned) {
+  const std::size_t n = kernel.size();
+  const std::size_t rows = row_end - row_begin;
+  struct Counts {
+    int64_t evals = 0;
+    int64_t pruned = 0;
+  };
+  const std::vector<Counts> per_block = engine::MapBlocksBlocked<Counts>(
+      eng, rows, TriangularRowBlock(eng, rows),
+      [&](const engine::BlockedRange& r) {
+        Counts c;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t i = row_begin + t;
+          double* row = out + t * n;
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (skip(i, j)) {
+              row[j] = 0.0;
+              ++c.pruned;
+              continue;
+            }
+            row[j] = kernel.Eval(i, j);
+            ++c.evals;
+          }
+        }
+        return c;
+      });
+  int64_t total = 0;
+  for (const Counts& c : per_block) {
+    total += c.evals;
+    *pruned += c.pruned;
+  }
+  return total;
+}
+
+int64_t FillGatherTile(const engine::Engine& eng, const PairwiseKernel& kernel,
+                       std::span<const std::size_t> rows, double* out,
+                       std::span<const std::size_t> out_slots) {
+  const std::size_t n = kernel.size();
+  const std::size_t count = rows.size();
+  // Requested rows cost uniformly n - 1 evaluations, like FillRowTile.
+  const std::size_t block =
+      std::min<std::size_t>(eng.block_size(),
+                            count / (static_cast<std::size_t>(
+                                         eng.num_threads()) * 4) + 1);
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, count, block, [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t i = rows[t];
+          double* row =
+              out + (out_slots.empty() ? t : out_slots[t]) * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) {
+              row[j] = 0.0;
+              continue;
+            }
+            row[j] = kernel.Eval(i, j);
+            ++evals;
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
+int64_t FillSymmetricBlock(const engine::Engine& eng,
+                           const PairwiseKernel& kernel,
+                           std::span<const std::size_t> ids,
+                           std::span<const std::size_t> missing_slots,
+                           double* out) {
+  const std::size_t s = ids.size();
+  const std::size_t count = missing_slots.size();
+  // Missing slot t pairs with the |missing| - 1 - t slots after it, the same
+  // triangular skew as the whole-table fill; cells (a, b) and (b, a) belong
+  // to the block owning the lower missing index, so no cell is written twice.
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, count, TriangularRowBlock(eng, count),
+          [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t a = missing_slots[t];
+          out[a * s + a] = 0.0;
+          for (std::size_t u = t + 1; u < count; ++u) {
+            const std::size_t b = missing_slots[u];
+            const double v = kernel.Eval(ids[a], ids[b]);
+            out[a * s + b] = v;
+            out[b * s + a] = v;
+            ++evals;
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
+int64_t FillBlockRows(const engine::Engine& eng, const PairwiseKernel& kernel,
+                      std::span<const std::size_t> ids,
+                      std::span<const std::size_t> row_slots,
+                      std::span<const std::size_t> out_slots, double* out) {
+  const std::size_t s = ids.size();
+  const std::size_t count = row_slots.size();
+  // Listed rows cost uniformly |ids| - 1 evaluations, like FillRowTile.
+  const std::size_t block =
+      std::min<std::size_t>(eng.block_size(),
+                            count / (static_cast<std::size_t>(
+                                         eng.num_threads()) * 4) + 1);
+  const std::vector<int64_t> evals_per_block =
+      engine::MapBlocksBlocked<int64_t>(
+          eng, count, block, [&](const engine::BlockedRange& r) {
+        int64_t evals = 0;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t a = row_slots[t];
+          double* row = out + out_slots[t] * s;
+          for (std::size_t b = 0; b < s; ++b) {
+            if (b == a) {
+              row[b] = 0.0;
+              continue;
+            }
+            row[b] = kernel.Eval(ids[a], ids[b]);
+            ++evals;
+          }
+        }
+        return evals;
+      });
+  int64_t total = 0;
+  for (int64_t e : evals_per_block) total += e;
+  return total;
+}
+
 int64_t FillUpperRowTile(const engine::Engine& eng,
                          const PairwiseKernel& kernel, std::size_t row_begin,
                          std::size_t row_end, double* out) {

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -169,6 +170,55 @@ int64_t FillRowTile(const engine::Engine& eng, const PairwiseKernel& kernel,
 int64_t FillUpperRowTile(const engine::Engine& eng,
                          const PairwiseKernel& kernel, std::size_t row_begin,
                          std::size_t row_end, double* out);
+
+/// Cheap pure predicate over a pair (i, j): true means the pair's exact
+/// kernel value is provably 0 and the evaluation may be skipped. Must be
+/// safe to call concurrently.
+using PairSkipTest = std::function<bool(std::size_t, std::size_t)>;
+
+/// FillUpperRowTile with bound-based pair pruning: pairs for which `skip`
+/// returns true are written as exactly 0.0 without a kernel evaluation
+/// (which is the value the kernel would have produced — the caller's
+/// contract). Returns the evaluation count and adds the number of skipped
+/// pairs to *pruned. The skip decision is a pure function of the pair, so
+/// the filled tile is bit-identical for any thread count.
+int64_t FillUpperRowTilePruned(const engine::Engine& eng,
+                               const PairwiseKernel& kernel,
+                               std::size_t row_begin, std::size_t row_end,
+                               double* out, const PairSkipTest& skip,
+                               int64_t* pruned);
+
+/// Fills an asymmetric "gather tile": full length-n rows for exactly the
+/// requested row indices, in one parallel pass. Row r of the request lands
+/// at out + r * n (or at out + out_slots[r] * n when `out_slots` is given,
+/// letting callers scatter computed rows between rows served from cache).
+/// Costs n - 1 evaluations per requested row (diagonal entries are 0).
+int64_t FillGatherTile(const engine::Engine& eng, const PairwiseKernel& kernel,
+                       std::span<const std::size_t> rows, double* out,
+                       std::span<const std::size_t> out_slots = {});
+
+/// Fills the missing part of a symmetric |ids| x |ids| block (row-major over
+/// `ids`): for missing slots a < b (entries of `missing_slots`, ascending)
+/// writes Eval(ids[a], ids[b]) into (a, b) AND (b, a) of `out`, and zeroes
+/// the missing diagonals. Slots not listed are assumed already filled by the
+/// caller (rows served from cache). Costs |missing| * (|missing| - 1) / 2
+/// evaluations — the candidate x member slab of the UK-medoids swap sweep.
+/// Parallel over missing slots; each cell is written exactly once.
+int64_t FillSymmetricBlock(const engine::Engine& eng,
+                           const PairwiseKernel& kernel,
+                           std::span<const std::size_t> ids,
+                           std::span<const std::size_t> missing_slots,
+                           double* out);
+
+/// Fills individual rows of the symmetric |ids| x |ids| block: for each t,
+/// row a = row_slots[t] lands at out + out_slots[t] * ids.size(), holding
+/// Eval(ids[a], ids[b]) for every b (0 when a == b). Costs |ids| - 1
+/// evaluations per listed row. Parallel over the listed rows — the striped
+/// producer for blocks too large to materialize whole.
+int64_t FillBlockRows(const engine::Engine& eng, const PairwiseKernel& kernel,
+                      std::span<const std::size_t> ids,
+                      std::span<const std::size_t> row_slots,
+                      std::span<const std::size_t> out_slots, double* out);
 
 }  // namespace uclust::clustering::kernels
 

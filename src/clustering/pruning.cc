@@ -55,4 +55,59 @@ void VoronoiFilter(const uncertain::Box& box,
   cand.resize(out);
 }
 
+PairwiseBoundIndex::PairwiseBoundIndex(
+    std::span<const uncertain::UncertainObject> objects)
+    : objects_(objects) {
+  if (objects_.empty()) return;
+  dims_ = objects_.front().dims();
+  centers_.resize(objects_.size() * dims_);
+  radii_.resize(objects_.size());
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const uncertain::Box& box = objects_[i].region();
+    double r2 = 0.0;
+    for (std::size_t j = 0; j < dims_; ++j) {
+      const double c = 0.5 * (box.lower()[j] + box.upper()[j]);
+      centers_[i * dims_ + j] = c;
+      const double half = box.upper()[j] - c;
+      r2 += half * half;
+    }
+    radii_[i] = std::sqrt(r2);
+  }
+}
+
+double PairwiseBoundIndex::RadiusGap(std::size_t i, std::size_t j) const {
+  double center_d2 = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const double diff = centers_[i * dims_ + d] - centers_[j * dims_ + d];
+    center_d2 += diff * diff;
+  }
+  return std::sqrt(center_d2) - radii_[i] - radii_[j];
+}
+
+double PairwiseBoundIndex::MinSquaredDistance(std::size_t i,
+                                              std::size_t j) const {
+  const double gap = RadiusGap(i, j);
+  const double radius_bound = gap > 0.0 ? gap * gap : 0.0;
+  // The box-box separation dominates the radius bound (the circumball
+  // contains the box), so it can only tighten it.
+  const double box_bound =
+      objects_[i].region().MinSquaredDistanceTo(objects_[j].region());
+  return box_bound > radius_bound ? box_bound : radius_bound;
+}
+
+bool PairwiseBoundIndex::ProvablyBeyond(std::size_t i, std::size_t j,
+                                        double eps) const {
+  // Relative slack: realizations are confined to the region boxes up to
+  // rounding of the samplers' inverse CDFs, and computed sample distances
+  // round too; requiring the bound to clear eps^2 by a margin far above
+  // ulp-level noise keeps "provably" honest in floating point.
+  const double threshold = eps * eps * (1.0 + 1e-9) + 1e-300;
+  // Cheap-first: the center-distance-minus-radii test alone often decides;
+  // the exact box-box separation is consulted only when it does not.
+  const double gap = RadiusGap(i, j);
+  if (gap > 0.0 && gap * gap > threshold) return true;
+  return objects_[i].region().MinSquaredDistanceTo(objects_[j].region()) >
+         threshold;
+}
+
 }  // namespace uclust::clustering

@@ -9,6 +9,11 @@
 //  * Cluster shift (Ngai et al., ICDM 2006): tighten bounds across
 //    iterations from a previously computed exact ED and the distance the
 //    centroid has moved since, via the Minkowski inequality on sqrt(ED).
+//  * Pair-level sweep pruning (PairwiseBoundIndex): per-object region
+//    centers and spread radii, plus the exact box-box separation, give a
+//    cheap lower bound on the distance between ANY realizations of two
+//    objects — the bound the column-pruned FDBSCAN sweep consults to skip
+//    pairs whose distance probability is provably 0.
 #ifndef UCLUST_CLUSTERING_PRUNING_H_
 #define UCLUST_CLUSTERING_PRUNING_H_
 
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "uncertain/box.h"
+#include "uncertain/uncertain_object.h"
 
 namespace uclust::clustering {
 
@@ -57,6 +63,44 @@ inline EdBounds TightestOf(const EdBounds& a, const EdBounds& b) {
 void VoronoiFilter(const uncertain::Box& box,
                    const std::vector<double>& centroids, std::size_t m,
                    std::vector<int>* candidates);
+
+/// Per-object spatial summaries for pair-level sweep pruning. Every pdf in
+/// the library has bounded support, so each object's realizations lie inside
+/// its domain region; the index precomputes each region's center and
+/// circumradius ("centroid distance minus spread radii") and keeps the boxes
+/// for the exact box-box separation test.
+///
+/// The referenced objects must outlive the index.
+class PairwiseBoundIndex {
+ public:
+  explicit PairwiseBoundIndex(
+      std::span<const uncertain::UncertainObject> objects);
+
+  std::size_t size() const { return objects_.size(); }
+
+  /// Lower bound on the squared distance between ANY realization pair of
+  /// objects i and j (0 when the regions overlap). Cheap-first: the
+  /// center-distance-minus-radii bound, tightened by the exact box-box
+  /// separation when the radius test alone cannot decide.
+  double MinSquaredDistance(std::size_t i, std::size_t j) const;
+
+  /// True when every realization pair of (i, j) is provably farther apart
+  /// than `eps`, i.e. Pr[dist(o_i, o_j) <= eps] is exactly 0 and a kernel
+  /// evaluation of the pair can be skipped. A tiny relative slack absorbs
+  /// floating-point rounding at the boundary so the proof also holds for
+  /// computed (rounded) sample distances.
+  bool ProvablyBeyond(std::size_t i, std::size_t j, double eps) const;
+
+ private:
+  /// Center distance minus both circumradii — the shared radius-bound core
+  /// of MinSquaredDistance and ProvablyBeyond (may be negative).
+  double RadiusGap(std::size_t i, std::size_t j) const;
+
+  std::span<const uncertain::UncertainObject> objects_;
+  std::size_t dims_ = 0;
+  std::vector<double> centers_;  // n x m region centers
+  std::vector<double> radii_;    // n region circumradii
+};
 
 }  // namespace uclust::clustering
 

@@ -75,7 +75,9 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
     if (row_u == nullptr) {
       // Zero-copy when materialized; otherwise a single-row fetch (NN-chain
       // tips have no tile locality, so faulting whole tiles would multiply
-      // kernel work by tile_rows). The span stays valid through this scan:
+      // kernel work by tile_rows). Chain tips are revisited as the chain
+      // grows, so under the warm-row policy the fetch is retained and the
+      // revisits become warm hits. The span stays valid through this scan:
       // nothing below touches the store.
       const std::span<const double> resident = store.ResidentRow(u);
       if (!resident.empty()) {
@@ -99,6 +101,10 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   std::vector<double> row_a(n, 0.0);
   std::vector<double> row_b(n, 0.0);
   while (remaining > 1) {
+    // One merge round = one warm-row generation: rows of clusters still on
+    // the chain stay warm (base singleton rows never change — merges only
+    // retire indices), rows untouched for a while age out.
+    store.BeginGeneration();
     if (chain.empty()) {
       for (std::size_t u = 0; u < n; ++u) {
         if (alive[u]) {
@@ -192,6 +198,9 @@ ClusteringResult Uahc::Cluster(const data::UncertainDataset& data, int k,
   result.offline_ms = offline_ms;
   result.pairwise_backend = PairwiseBackendName(store.backend());
   result.table_bytes_peak = store.table_bytes_peak();
+  result.pair_evaluations = store.evaluations();
+  result.tile_warm_hits = store.warm_hits();
+  result.tile_warm_misses = store.warm_misses();
   return result;
 }
 

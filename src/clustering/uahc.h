@@ -5,15 +5,17 @@
 // form expected squared distance ED^ (Lemma 3) with the NN-chain algorithm,
 // preserving the O(n^2 m)-time cost class and the merge behaviour the
 // paper's efficiency study exercises; the original's information-theoretic
-// dissimilarity is approximated by ED^ (documented in DESIGN.md section 8).
+// dissimilarity is approximated by ED^ (see docs/algorithms.md).
 // The dendrogram is cut when k clusters remain.
 //
 // Memory model: base ED^ values are read through clustering::PairwiseStore
 // (dense / tiled / on-the-fly, selected by EngineConfig::
 // memory_budget_bytes), and Lance-Williams updates live in an overlay that
 // holds one distance row per alive merge-product cluster — the classic
-// dense working table exists only under the dense backend. Clusterings are
-// bit-identical across backends.
+// dense working table exists only under the dense backend. NN-chain tip
+// rows fetched on budgeted backends are retained across merge rounds by
+// the store's warm-row cache (one BeginGeneration per merge). Clusterings
+// are bit-identical across backends, tile policies, and thread counts.
 #ifndef UCLUST_CLUSTERING_UAHC_H_
 #define UCLUST_CLUSTERING_UAHC_H_
 

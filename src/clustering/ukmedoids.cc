@@ -47,9 +47,17 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   std::vector<std::size_t> best_medoid(k);
   std::vector<double> med_rows;  // k x n: row c = d(medoids[c], .)
   std::vector<double> cand_cost(n, 0.0);
+  // The gather sweep only pays off when rows would otherwise be recomputed;
+  // on the dense backend the legacy sweep reads the resident table
+  // zero-copy, so the block gather would be pure copy overhead.
+  const bool gather_tiles = eng.pairwise_gather_tiles() &&
+                            store.backend() != PairwiseBackend::kDense;
 
   for (result.iterations = 0; result.iterations < params_.max_iters;
        ++result.iterations) {
+    // One PAM round = one warm-row generation: medoid rows gathered last
+    // round stay servable (medoids rarely all move), stale rows age out.
+    store.BeginGeneration();
     // Assignment to the nearest medoid: materialize the k medoid rows
     // through the store, then sweep objects in parallel blocks (the change
     // counter reduces over blocks in order).
@@ -84,16 +92,37 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
     if (changed == 0 && result.iterations > 0) break;
 
     // Update: each cluster's medoid minimizes the total ED^ to its members.
-    // One parallel row sweep scores every object as a candidate medoid of
-    // its own cluster (members are ascending, so the per-candidate sum order
-    // is fixed); the serial argmin below keeps first-minimum tie-breaking.
-    store.VisitAllRows([&](std::size_t i, std::span<const double> row) {
-      double cost = 0.0;
-      for (std::size_t other : members[result.labels[i]]) {
-        cost += row[other];
+    // An object's candidate cost reads only its own cluster's member
+    // columns, so the sweep needs the per-cluster member x member blocks —
+    // never the full table.
+    if (gather_tiles) {
+      // Gather-tile policy: one asymmetric member x member slab per cluster
+      // (resident/warm rows read back, the rest evaluated symmetrically;
+      // budget-bounded stripes when the slab is too large to materialize),
+      // with row sums in the visitor. Summation order over a block row is
+      // ascending members — exactly the full-row sweep's order restricted
+      // to the member columns, so cand_cost is bit-identical.
+      for (int c = 0; c < k; ++c) {
+        const std::vector<std::size_t>& mem = members[c];
+        if (mem.empty()) continue;
+        store.VisitSymmetricBlock(
+            mem, [&](std::size_t a, std::span<const double> row) {
+              double cost = 0.0;
+              for (const double v : row) cost += v;
+              cand_cost[mem[a]] = cost;
+            });
       }
-      cand_cost[i] = cost;
-    });
+    } else {
+      // Legacy full sweep: every row visited (tile faults included), each
+      // object summed over its own cluster's member columns.
+      store.VisitAllRows([&](std::size_t i, std::span<const double> row) {
+        double cost = 0.0;
+        for (std::size_t other : members[result.labels[i]]) {
+          cost += row[other];
+        }
+        cand_cost[i] = cost;
+      });
+    }
     for (int c = 0; c < k; ++c) {
       best_medoid[c] = medoids[c];
       if (members[c].empty()) continue;
@@ -131,6 +160,9 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   result.ed_evaluations += store.ed_evaluations();
   result.pairwise_backend = PairwiseBackendName(store.backend());
   result.table_bytes_peak = store.table_bytes_peak();
+  result.pair_evaluations = store.evaluations();
+  result.tile_warm_hits = store.warm_hits();
+  result.tile_warm_misses = store.warm_misses();
   result.clusters_found = CountClusters(result.labels);
   return result;
 }

@@ -8,9 +8,14 @@
 // unlimited memory budget the full ED table is precomputed in the offline
 // phase exactly as in the original (the paper excludes it from the timed
 // online phase); under a finite EngineConfig::memory_budget_bytes the
-// assignment and swap sweeps instead fault in row tiles (LRU-cached) or
-// recompute rows on the fly, bounding table memory at any n while producing
-// bit-identical clusterings.
+// sweeps run workload-aware instead: the assignment step gathers the k
+// medoid rows as one asymmetric gather tile (retained across PAM
+// iterations by the warm-row cache — see PairwiseStore::BeginGeneration),
+// and the swap sweep reads per-cluster member x member slabs rather than
+// faulting full row tiles. Table memory stays bounded at any n and
+// clusterings are bit-identical across backends, tile policies
+// (EngineConfig::pairwise_gather_tiles / pairwise_warm_rows), and thread
+// counts; see docs/memory-backends.md.
 #ifndef UCLUST_CLUSTERING_UKMEDOIDS_H_
 #define UCLUST_CLUSTERING_UKMEDOIDS_H_
 

@@ -3,8 +3,9 @@
 // The original experiments (Table 2) use eight UCI datasets whose role is
 // purely to provide a labeled deterministic point cloud on which uncertainty
 // is then synthesized. We reproduce each dataset's shape (n, m, #classes)
-// with a Gaussian-mixture generator; see DESIGN.md section 4 for why this
-// substitution preserves the evaluated behaviour.
+// with a Gaussian-mixture generator: what the evaluation protocol measures
+// is recovery of a known labeling under synthesized uncertainty, which the
+// mixture's labeled clusters provide with the same shape parameters.
 #ifndef UCLUST_DATA_BENCHMARK_GEN_H_
 #define UCLUST_DATA_BENCHMARK_GEN_H_
 

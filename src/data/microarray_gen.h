@@ -4,7 +4,9 @@
 // The paper models probe-level uncertainty as per-probe Normal pdfs produced
 // by multi-mgMOS (PUMA). We simulate the salient property of that model —
 // heteroscedastic Normal uncertainty whose sigma grows as expression falls —
-// on top of a latent gene-module structure (see DESIGN.md section 4).
+// on top of a latent gene-module structure, so the evaluated behaviour
+// (class-correlated signal under realistic per-probe noise) is preserved
+// without the proprietary source data.
 #ifndef UCLUST_DATA_MICROARRAY_GEN_H_
 #define UCLUST_DATA_MICROARRAY_GEN_H_
 

@@ -11,6 +11,9 @@ Engine::Engine(const EngineConfig& config) {
   block_size_ = std::max<std::size_t>(config.block_size, 1);
   memory_budget_bytes_ = config.memory_budget_bytes;
   moment_chunk_rows_ = config.moment_chunk_rows;
+  pairwise_gather_tiles_ = config.pairwise_gather_tiles;
+  pairwise_warm_rows_ = config.pairwise_warm_rows;
+  pairwise_pruned_sweeps_ = config.pairwise_pruned_sweeps;
   int threads = config.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -37,6 +40,10 @@ EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
   }
   config.moment_chunk_rows =
       static_cast<std::size_t>(args.GetInt("moment_chunk_rows", 0));
+  config.pairwise_gather_tiles = args.GetBool("pairwise_gather_tiles", true);
+  config.pairwise_warm_rows = args.GetBool("pairwise_warm_rows", true);
+  config.pairwise_pruned_sweeps =
+      args.GetBool("pairwise_pruned_sweeps", true);
   return config;
 }
 

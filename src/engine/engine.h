@@ -48,6 +48,22 @@ struct EngineConfig {
   /// (io::kDefaultMomentChunkRows, 4096). Changes chunk/prefetch
   /// granularity and the span-validity window, never the served values.
   std::size_t moment_chunk_rows = 0;
+  /// Workload-aware PairwiseStore tile policies. All three are pure
+  /// recompute/memory optimizations: clusterings are bit-identical with any
+  /// combination of them, on every backend, at any thread count.
+  ///
+  /// Gather tiles: candidate x member slabs for the UK-medoids swap sweep
+  /// (and batched candidate-row gathers) are computed asymmetrically —
+  /// only the entries the sweep reads — instead of faulting full row tiles.
+  bool pairwise_gather_tiles = true;
+  /// Warm rows: gathered rows are retained across consumer iterations (PAM
+  /// rounds, Lance-Williams merges) in a budget-bounded warm cache with a
+  /// generation/invalidation protocol (see PairwiseStore::BeginGeneration).
+  bool pairwise_warm_rows = true;
+  /// Pruned sweeps: streaming pair sweeps (the FDBSCAN distance-probability
+  /// sweep) skip pairs whose value is provably 0 under cheap spatial bounds
+  /// (clustering::PairwiseBoundIndex) before any kernel evaluation.
+  bool pairwise_pruned_sweeps = true;
 };
 
 /// Copyable handle bundling an EngineConfig with a (shared) thread pool.
@@ -73,6 +89,12 @@ class Engine {
   std::size_t memory_budget_bytes() const { return memory_budget_bytes_; }
   /// Mapped moment-store chunk-rows hint (0 = format default).
   std::size_t moment_chunk_rows() const { return moment_chunk_rows_; }
+  /// Asymmetric gather-tile policy for PairwiseStore consumers.
+  bool pairwise_gather_tiles() const { return pairwise_gather_tiles_; }
+  /// Iteration-scoped warm-row reuse policy for PairwiseStore.
+  bool pairwise_warm_rows() const { return pairwise_warm_rows_; }
+  /// Bound-based pair pruning policy for streaming pairwise sweeps.
+  bool pairwise_pruned_sweeps() const { return pairwise_pruned_sweeps_; }
   /// The pool, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
@@ -80,13 +102,18 @@ class Engine {
   std::size_t block_size_ = 1024;
   std::size_t memory_budget_bytes_ = 0;
   std::size_t moment_chunk_rows_ = 0;
+  bool pairwise_gather_tiles_ = true;
+  bool pairwise_warm_rows_ = true;
+  bool pairwise_pruned_sweeps_ = true;
   std::shared_ptr<ThreadPool> pool_;
 };
 
 /// Reads `--threads=N` (0 = auto), `--block_size=B`,
 /// `--memory_budget_bytes=B` (or the `--memory_budget_mb=M` convenience
-/// form; bytes win when both are given, 0 = unlimited), and
-/// `--moment_chunk_rows=R` (0 = default) from parsed flags.
+/// form; bytes win when both are given, 0 = unlimited),
+/// `--moment_chunk_rows=R` (0 = default), and the tile-policy toggles
+/// `--pairwise_gather_tiles=0/1`, `--pairwise_warm_rows=0/1`,
+/// `--pairwise_pruned_sweeps=0/1` (all default 1) from parsed flags.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

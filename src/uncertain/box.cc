@@ -47,6 +47,22 @@ double Box::MinSquaredDistanceTo(std::span<const double> point) const {
   return acc;
 }
 
+double Box::MinSquaredDistanceTo(const Box& other) const {
+  assert(other.dims() == dims());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dims(); ++j) {
+    // Per-dimension interval gap: 0 when [lo, hi] overlaps [olo, ohi].
+    double d = 0.0;
+    if (other.upper_[j] < lower_[j]) {
+      d = lower_[j] - other.upper_[j];
+    } else if (other.lower_[j] > upper_[j]) {
+      d = other.lower_[j] - upper_[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
 double Box::MaxSquaredDistanceTo(std::span<const double> point) const {
   assert(point.size() == dims());
   double acc = 0.0;

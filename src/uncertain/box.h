@@ -30,6 +30,11 @@ class Box {
   /// Smallest squared Euclidean distance from `point` to any box point
   /// (0 when the point is inside). Used by MinMax-BB lower bounds.
   double MinSquaredDistanceTo(std::span<const double> point) const;
+  /// Smallest squared Euclidean distance between any point of this box and
+  /// any point of `other` (0 when the boxes overlap). The tightest
+  /// box-based lower bound on the distance between two uncertain objects'
+  /// realizations; used by the pair-level sweep pruning.
+  double MinSquaredDistanceTo(const Box& other) const;
   /// Largest squared Euclidean distance from `point` to any box point.
   /// Used by MinMax-BB upper bounds.
   double MaxSquaredDistanceTo(std::span<const double> point) const;

@@ -224,17 +224,19 @@ TEST(PairwiseStore, ConsumersProduceIdenticalClusteringsAcrossBackends) {
       }
     }
     // Dense materializes the full O(n^2) table — except FDBSCAN, whose
-    // upper-triangle sweep streams bounded scratch on every backend.
+    // upper-triangle sweep streams bounded scratch on every backend. On top
+    // of the table, sweep scratch (e.g. the UK-medoids gather-sweep block
+    // stripes) may add at most the ~1 MiB streaming bound.
+    const std::size_t table_bytes = ds.size() * ds.size() * sizeof(double);
+    const std::size_t scratch_bound = std::size_t{1} << 20;
     if (algo->name() != "FDBSCAN") {
-      EXPECT_EQ(baseline.table_bytes_peak,
-                ds.size() * ds.size() * sizeof(double))
+      EXPECT_GE(baseline.table_bytes_peak, table_bytes) << algo->name();
+      EXPECT_LE(baseline.table_bytes_peak, table_bytes + scratch_bound)
           << algo->name();
     } else {
       // Bounded streaming scratch (covers the whole table only when n is
       // small enough that it fits in one ~1 MiB chunk, as here).
-      EXPECT_LE(baseline.table_bytes_peak,
-                ds.size() * ds.size() * sizeof(double))
-          << algo->name();
+      EXPECT_LE(baseline.table_bytes_peak, table_bytes) << algo->name();
     }
   }
 }

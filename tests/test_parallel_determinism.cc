@@ -148,6 +148,60 @@ TEST(ParallelDeterminism, TiledBackendBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The tile policies (gather tiles, warm rows, pruned sweeps) are pure
+// recompute optimizations: every policy combination must reproduce the
+// policy-free serial clustering bit-for-bit, on the tiled backend, at any
+// thread count. (Evaluation counts legitimately differ ACROSS policies —
+// that is the point — but not across thread counts at a fixed policy.)
+TEST(ParallelDeterminism, TilePoliciesBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(140, 3, 3, 43);
+  const std::size_t budget = 10 * ds.size() * sizeof(double);
+  const auto make = [&](const std::string& name, int threads, bool gather,
+                        bool warm, bool pruned) {
+    engine::EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 32;
+    config.memory_budget_bytes = budget;
+    config.pairwise_gather_tiles = gather;
+    config.pairwise_warm_rows = warm;
+    config.pairwise_pruned_sweeps = pruned;
+    return MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+  };
+  for (const std::string& name :
+       {std::string("UK-medoids"), std::string("UAHC"),
+        std::string("FDBSCAN")}) {
+    const ClusteringResult baseline =
+        make(name, 1, false, false, false)->Cluster(ds, 3, 13);
+    for (const bool gather : {false, true}) {
+      for (const bool warm : {false, true}) {
+        for (const bool pruned : {false, true}) {
+          ClusteringResult serial;
+          for (int threads : {1, 2, 8}) {
+            const ClusteringResult out =
+                make(name, threads, gather, warm, pruned)->Cluster(ds, 3, 13);
+            EXPECT_EQ(out.labels, baseline.labels)
+                << name << " threads=" << threads << " gather=" << gather
+                << " warm=" << warm << " pruned=" << pruned;
+            EXPECT_EQ(out.iterations, baseline.iterations) << name;
+            if (!std::isnan(baseline.objective)) {
+              EXPECT_EQ(out.objective, baseline.objective) << name;
+            }
+            if (threads == 1) {
+              serial = out;
+            } else {
+              // Recompute effort itself is thread-count independent.
+              EXPECT_EQ(out.pair_evaluations, serial.pair_evaluations)
+                  << name << " threads=" << threads;
+              EXPECT_EQ(out.tile_warm_hits, serial.tile_warm_hits) << name;
+              EXPECT_EQ(out.pairs_pruned, serial.pairs_pruned) << name;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminism, EveryRegisteredAlgorithmMatchesSerial) {
   // End-to-end sweep over the registry (pruned variants, medoids, density
   // methods included): labels and objective must not depend on the thread

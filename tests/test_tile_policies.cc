@@ -1,0 +1,313 @@
+// Workload-aware PairwiseStore tile-policy contract: asymmetric gather
+// blocks serve the same bits the dense table holds, the gather-tile
+// UK-medoids swap sweep is clustering-identical to the full sweep at a
+// strictly lower kernel-evaluation count, the warm-row cache obeys its
+// hit/miss counters and generation/invalidation protocol under the memory
+// budget, and the column-pruned FDBSCAN sweep skips only pairs whose
+// distance probability is provably 0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "clustering/fdbscan.h"
+#include "clustering/pairwise_store.h"
+#include "clustering/pruning.h"
+#include "clustering/ukmedoids.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "engine/engine.h"
+#include "uncertain/sample_cache.h"
+
+namespace uclust::clustering {
+namespace {
+
+data::UncertainDataset TestDataset(std::size_t n, std::size_t m, int classes,
+                                   uint64_t seed,
+                                   double min_separation = 0.25) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = m;
+  params.classes = classes;
+  params.min_separation = min_separation;
+  const data::DeterministicDataset d =
+      data::MakeGaussianMixture(params, seed, "tile-policies");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+PairwiseStoreOptions Explicit(PairwiseBackend backend, std::size_t tile_rows,
+                              std::size_t max_tiles, bool warm_rows,
+                              std::size_t warm_capacity) {
+  PairwiseStoreOptions o;
+  o.backend = backend;
+  o.tile_rows = tile_rows;
+  o.max_cached_tiles = max_tiles;
+  o.warm_rows = warm_rows;
+  o.warm_capacity_bytes = warm_capacity;
+  return o;
+}
+
+engine::Engine PolicyEngine(std::size_t budget, bool gather, bool warm,
+                            bool pruned, int threads = 1) {
+  engine::EngineConfig config;
+  config.num_threads = threads;
+  config.block_size = 32;
+  config.memory_budget_bytes = budget;
+  config.pairwise_gather_tiles = gather;
+  config.pairwise_warm_rows = warm;
+  config.pairwise_pruned_sweeps = pruned;
+  return engine::Engine(config);
+}
+
+std::vector<double> CollectSymmetricBlock(PairwiseStore* store,
+                                          std::span<const std::size_t> ids) {
+  std::vector<double> block(ids.size() * ids.size(), -1.0);
+  store->VisitSymmetricBlock(
+      ids, [&](std::size_t a, std::span<const double> row) {
+        for (std::size_t b = 0; b < row.size(); ++b) {
+          block[a * ids.size() + b] = row[b];
+        }
+      });
+  return block;
+}
+
+TEST(TilePolicies, VisitSymmetricBlockMatchesDenseReference) {
+  const auto ds = TestDataset(57, 3, 3, 101);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  PairwiseStore reference(eng, kernel,
+                          Explicit(PairwiseBackend::kDense, 0, 0, false, 0));
+
+  // Every other object — an id set crossing several tiles.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < n; i += 2) ids.push_back(i);
+
+  for (PairwiseBackend backend :
+       {PairwiseBackend::kDense, PairwiseBackend::kTiled,
+        PairwiseBackend::kOnTheFly}) {
+    const bool warm = backend == PairwiseBackend::kTiled;
+    PairwiseStore store(
+        eng, kernel,
+        Explicit(backend, 5, 2, warm, warm ? 8 * n * sizeof(double) : 0));
+    // Seed the warm cache / resident tiles so the block mixes served rows
+    // (copied and mirrored) with computed rows.
+    std::vector<double> seeded;
+    store.GatherRows(std::vector<std::size_t>{ids[1], ids[3]}, &seeded);
+    if (backend == PairwiseBackend::kTiled) store.Row(ids[0]);
+
+    const std::vector<double> block = CollectSymmetricBlock(&store, ids);
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = 0; b < ids.size(); ++b) {
+        ASSERT_EQ(block[a * ids.size() + b],
+                  reference.Value(ids[a], ids[b]))
+            << PairwiseBackendName(backend) << " " << a << "," << b;
+      }
+    }
+  }
+}
+
+// A budget too small to hold the whole |ids| x |ids| slab must stream
+// bounded row stripes — same values, scratch within the one-block-row
+// floor, never an O(|ids|^2) allocation inside the store.
+TEST(TilePolicies, VisitSymmetricBlockStripesOversizedBlocks) {
+  const auto ds = TestDataset(90, 2, 2, 131);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  PairwiseStore reference(eng, kernel,
+                          Explicit(PairwiseBackend::kDense, 0, 0, false, 0));
+
+  std::vector<std::size_t> ids(n);  // the worst case: one giant cluster
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+
+  // Budget of ~3 block rows: far below the n x n slab, so the visit must
+  // stripe. Warm cache off to pin the expected evaluation count.
+  PairwiseStoreOptions o = Explicit(PairwiseBackend::kTiled, 4, 1, false, 0);
+  o.memory_budget_bytes = 3 * n * sizeof(double);
+  PairwiseStore store(eng, kernel, o);
+  const std::vector<double> block = CollectSymmetricBlock(&store, ids);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      ASSERT_EQ(block[a * n + b], reference.Value(a, b)) << a << "," << b;
+    }
+  }
+  // Scratch stayed within the budget (stripes, not the whole slab).
+  EXPECT_LE(store.table_bytes_peak(),
+            o.memory_budget_bytes + 4 * n * sizeof(double));  // + tile LRU
+}
+
+// The gather-tile swap sweep must reproduce the full-sweep clustering
+// bit-for-bit on every backend while evaluating strictly fewer pairs on the
+// recomputing backends.
+TEST(TilePolicies, UkMedoidsGatherPolicyBitIdenticalWithFewerEvaluations) {
+  const auto ds = TestDataset(120, 3, 3, 103);
+  const std::size_t row_bytes = ds.size() * sizeof(double);
+
+  UkMedoids::Params mp;
+  mp.use_closed_form = true;
+  const auto run = [&](std::size_t budget, bool gather, bool warm) {
+    UkMedoids algo(mp);
+    algo.set_engine(PolicyEngine(budget, gather, warm, true));
+    return algo.Cluster(ds, 3, 7);
+  };
+
+  for (const std::size_t budget : {std::size_t{0}, 12 * row_bytes,
+                                   std::size_t{1}}) {
+    const ClusteringResult full = run(budget, false, false);
+    for (const bool warm : {false, true}) {
+      const ClusteringResult gathered = run(budget, true, warm);
+      EXPECT_EQ(gathered.labels, full.labels)
+          << "budget=" << budget << " warm=" << warm;
+      EXPECT_EQ(gathered.iterations, full.iterations) << "budget=" << budget;
+      EXPECT_EQ(gathered.objective, full.objective) << "budget=" << budget;
+      if (budget != 0) {
+        // Tiled / on-the-fly recompute per sweep: the member x member
+        // blocks must beat the full-table sweeps.
+        EXPECT_LT(gathered.pair_evaluations, full.pair_evaluations)
+            << "budget=" << budget << " warm=" << warm;
+      }
+    }
+  }
+}
+
+TEST(TilePolicies, WarmRowCountersAndGenerationInvalidation) {
+  const auto ds = TestDataset(48, 2, 2, 107);
+  const std::size_t n = ds.size();
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  PairwiseStoreOptions options =
+      Explicit(PairwiseBackend::kTiled, 8, 1, true, 4 * n * sizeof(double));
+  options.warm_retain_generations = 2;
+  PairwiseStore store(eng, kernel, options);
+
+  std::vector<double> row;
+  store.GatherRow(40, &row);  // outside any resident tile: computed
+  EXPECT_EQ(store.warm_misses(), 1);
+  EXPECT_EQ(store.warm_hits(), 0);
+
+  store.GatherRow(40, &row);  // retained: a warm hit, no new evaluations
+  const int64_t evals_after_first = store.evaluations();
+  EXPECT_EQ(store.warm_hits(), 1);
+  EXPECT_EQ(store.warm_misses(), 1);
+  EXPECT_EQ(store.evaluations(), evals_after_first);
+
+  // Within the retention window the row stays warm.
+  store.BeginGeneration();
+  store.GatherRow(40, &row);
+  EXPECT_EQ(store.warm_hits(), 2);
+  EXPECT_EQ(store.warm_misses(), 1);
+
+  // Untouched past the retention window: invalidated at generation start.
+  store.BeginGeneration();
+  store.BeginGeneration();
+  store.BeginGeneration();
+  store.GatherRow(40, &row);
+  EXPECT_EQ(store.warm_hits(), 2);
+  EXPECT_EQ(store.warm_misses(), 2);
+
+  // Explicit invalidation drops the row immediately.
+  store.InvalidateWarmRows();
+  EXPECT_EQ(store.warm_bytes(), std::size_t{0});
+  store.GatherRow(40, &row);
+  EXPECT_EQ(store.warm_misses(), 3);
+
+  // Counters only ever grow (monotonicity is what makes them per-phase
+  // differences meaningful in ClusteringResult).
+  EXPECT_GE(store.warm_hits(), 2);
+  EXPECT_GE(store.warm_misses(), 3);
+}
+
+TEST(TilePolicies, WarmCacheEvictsWithinItsCapacityAndBudget) {
+  const auto ds = TestDataset(64, 2, 2, 109);
+  const std::size_t n = ds.size();
+  const std::size_t row_bytes = n * sizeof(double);
+  const engine::Engine eng;
+  const kernels::PairwiseKernel kernel =
+      kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+
+  // Budget-derived tiled store: tile LRU + warm cache must fit the budget.
+  const std::size_t budget = 12 * row_bytes;
+  PairwiseStore store(eng, kernel,
+                      PairwiseStoreOptions::FromBudget(budget, n));
+  ASSERT_EQ(store.backend(), PairwiseBackend::kTiled);
+  ASSERT_TRUE(store.options().warm_rows);
+  std::vector<double> row;
+  for (std::size_t i = 0; i < n; ++i) {
+    store.GatherRow(i, &row);
+    EXPECT_LE(store.warm_bytes(), store.options().warm_capacity_bytes);
+  }
+  store.VisitAllRows([](std::size_t, std::span<const double>) {});
+  EXPECT_LE(store.table_bytes_peak(), budget);
+
+  // A warm capacity below one row disables the policy instead of thrashing.
+  PairwiseStore tiny(eng, kernel,
+                     Explicit(PairwiseBackend::kTiled, 4, 2, true,
+                              row_bytes - 1));
+  EXPECT_FALSE(tiny.options().warm_rows);
+}
+
+// Pruned sweep contract on a separable dataset: identical labels, strictly
+// fewer kernel evaluations, and every pair accounted as either evaluated or
+// pruned.
+TEST(TilePolicies, FdbscanPrunedSweepBitIdenticalWithFewerEvaluations) {
+  const auto ds = TestDataset(150, 2, 3, 113, /*min_separation=*/0.45);
+  const std::size_t n = ds.size();
+
+  Fdbscan::Params fp;
+  fp.eps = 0.08;  // well below the class separation: cross-class pairs prune
+  const auto run = [&](std::size_t budget, bool pruned) {
+    Fdbscan algo(fp);
+    algo.set_engine(PolicyEngine(budget, true, true, pruned));
+    return algo.Cluster(ds, 3, 17);
+  };
+
+  const std::size_t row_bytes = n * sizeof(double);
+  for (const std::size_t budget : {std::size_t{0}, 10 * row_bytes}) {
+    const ClusteringResult plain = run(budget, false);
+    const ClusteringResult pruned = run(budget, true);
+    EXPECT_EQ(pruned.labels, plain.labels) << "budget=" << budget;
+    EXPECT_EQ(pruned.clusters_found, plain.clusters_found);
+    EXPECT_EQ(pruned.noise_objects, plain.noise_objects);
+    EXPECT_GT(pruned.pairs_pruned, 0) << "budget=" << budget;
+    EXPECT_LT(pruned.ed_evaluations, plain.ed_evaluations)
+        << "budget=" << budget;
+    const int64_t all_pairs =
+        static_cast<int64_t>(n) * static_cast<int64_t>(n - 1) / 2;
+    EXPECT_EQ(plain.pair_evaluations, all_pairs);
+    EXPECT_EQ(pruned.pair_evaluations + pruned.pairs_pruned, all_pairs);
+  }
+}
+
+// The bound the pruned sweep consults must hold for every realization pair
+// the distance-probability kernel integrates over.
+TEST(TilePolicies, PairwiseBoundIndexLowerBoundsSampleDistances) {
+  const auto ds = TestDataset(40, 3, 3, 127);
+  const engine::Engine eng;
+  const uncertain::SampleCache cache(ds.objects(), 16, 0x5eed, eng);
+  const PairwiseBoundIndex bounds(ds.objects());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      const double lb = bounds.MinSquaredDistance(i, j);
+      for (int s = 0; s < cache.samples_per_object(); ++s) {
+        double d2 = 0.0;
+        const auto a = cache.SampleOf(i, s);
+        const auto b = cache.SampleOf(j, s);
+        for (std::size_t m = 0; m < a.size(); ++m) {
+          const double diff = a[m] - b[m];
+          d2 += diff * diff;
+        }
+        ASSERT_LE(lb, d2 * (1.0 + 1e-12)) << i << "," << j << " s=" << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uclust::clustering
