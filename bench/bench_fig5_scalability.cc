@@ -11,6 +11,8 @@
 // accounting, sweeps the tile-policy axis (full sweep vs gather tiles vs
 // gather + warm rows, with kernel-eval and warm-hit counters) plus an
 // FDBSCAN pruned-vs-unpruned sweep on a mix-family dataset, sweeps the
+// CK-means axis (direct vs reduced vs reduced+bounds UK-means assignment
+// work, with distance-eval and bounds-skip accounting), sweeps the
 // MomentStore backend axis (resident columns vs the mmap-backed .umom
 // sidecar) on the fast group with moments-bytes-resident accounting, and
 // persists everything to a machine-readable BENCH_fig5_scalability.json
@@ -46,6 +48,7 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
+#include "clustering/ckmeans.h"
 #include "clustering/fdbscan.h"
 #include "clustering/mmvar.h"
 #include "clustering/ucpc.h"
@@ -278,6 +281,75 @@ int main(int argc, char** argv) {
     }
   }
   json.EndArray();
+
+  // CK-means axis: the UK-means assignment work at the 100% size under the
+  // three pruning levels — direct sweeps, moment reduction only, and
+  // reduction plus Hamerly/Elkan bounds. Labels must agree bit-for-bit
+  // (the levels are exact optimizations); what changes is online time and
+  // the (center_distance_evals, bounds_skipped) accounting. This axis
+  // records the trajectory; the hard pruning-win gate lives in
+  // bench_ckmeans_smoke, which CI greps for CKMEANS RESULT=OK.
+  if (largest_mm.size() > 0) {
+    std::printf("\n[ckmeans axis: UK-means assignment work at n=%zu, "
+                "k=%d]\n",
+                largest_mm.size(), k);
+    std::printf("%16s | %10s %6s %16s %16s %8s\n", "level", "online",
+                "iters", "distance_evals", "bounds_skipped", "labels");
+    json.Key("ckmeans_speedup");
+    json.BeginArray();
+    struct Level {
+      const char* name;
+      bool reduction;
+      bool bounds;
+    };
+    const Level levels[] = {{"direct", false, false},
+                            {"reduced", true, false},
+                            {"reduced+bounds", true, true}};
+    std::vector<int> direct_labels;
+    for (const Level& level : levels) {
+      double ms = 0.0;
+      clustering::CkMeans::Outcome out;
+      for (int r = 0; r < runs; ++r) {
+        common::Stopwatch sw;
+        if (!level.reduction && !level.bounds) {
+          const auto d = clustering::Ukmeans::RunOnMoments(
+              largest_mm.view(), k, seed, clustering::Ukmeans::Params(), eng);
+          ms += sw.ElapsedMs();
+          out.labels = d.labels;
+          out.objective = d.objective;
+          out.iterations = d.iterations;
+          out.center_distance_evals = d.center_distance_evals;
+          out.bounds_skipped = 0;
+        } else {
+          clustering::CkMeans::Params cp;
+          cp.reduction = level.reduction;
+          cp.bound_pruning = level.bounds;
+          out = clustering::CkMeans::RunOnMoments(largest_mm.view(), k, seed,
+                                                  cp, eng);
+          ms += sw.ElapsedMs();
+        }
+      }
+      ms /= runs;
+      if (direct_labels.empty()) direct_labels = out.labels;
+      const bool labels_match = out.labels == direct_labels;
+      std::printf("%16s | %8.1fms %6d %16lld %16lld %8s\n", level.name, ms,
+                  out.iterations,
+                  static_cast<long long>(out.center_distance_evals),
+                  static_cast<long long>(out.bounds_skipped),
+                  labels_match ? "match" : "MISMATCH!");
+      json.BeginObject();
+      json.KV("level", level.name);
+      json.KV("n", largest_mm.size());
+      json.KV("k", k);
+      json.KV("online_ms", ms);
+      json.KV("iterations", out.iterations);
+      json.KV("center_distance_evals", out.center_distance_evals);
+      json.KV("bounds_skipped", out.bounds_skipped);
+      json.KV("labels_match_direct", labels_match);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
 
   // MomentStore backend axis: the fast group on resident columns vs the
   // mmap-backed .umom sidecar, at the 100% size. Labels must agree

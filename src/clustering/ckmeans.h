@@ -1,0 +1,163 @@
+// CK-means: the O(nk)-per-iteration fast path of the UK-means family.
+//
+// Two stacked optimizations over the direct UK-means sweeps (ukmeans.h),
+// both exact under the library determinism contract — labels, objective,
+// and iteration count are bit-identical to the direct path for any knob
+// combination and any engine thread count:
+//
+//   1. Moment reduction (Lee, Kao & Cheng, ICDM-W 2007). König-Huygens
+//      splits the expected distance as ED(o, c) = sigma^2(o) +
+//      ||mu(o) - c||^2 (Eq. 8), so the Lloyd loop only ever touches each
+//      object's expected centroid mu(o) and the additive constant
+//      sigma^2(o). CkmeansReduce copies exactly those two columns out of a
+//      MomentView in one sequential pass — Resident or Mapped backend alike
+//      — and the loop then runs on a flat resident block of (m+1)/(3m+1)
+//      of the full moment bytes, with zero chunk faults per sweep.
+//
+//   2. Hamerly/Elkan bound pruning. A per-object Euclidean upper bound to
+//      the assigned center and a lower bound to the second-closest center
+//      are maintained from per-center drift norms after every update; an
+//      Elkan-style half-min-separation test rides along. Objects whose
+//      bounds prove the assignment unchanged skip the whole k-center scan,
+//      making late iterations O(n) instead of O(nk) distance evaluations.
+//      Bounds are kept floating-point-safe by a relative slack (upper
+//      bounds inflated, lower bounds deflated at every maintenance step),
+//      so a pruning decision is always conservative and the surviving
+//      full scans reproduce the direct path's tie-breaking exactly.
+//
+// The file-backed driver ClusterFile adds a third form: mini-batch epoch
+// streaming, which re-streams a .ubin dataset once per iteration through
+// io::MomentBatchStream and keeps only O(n) labels/bounds plus one batch
+// of moments resident. Per-cluster sums are accumulated through a carry
+// accumulator aligned to the engine's block grid, so the floating-point
+// result matches kernels::SumMeansByLabel for ANY mini-batch size.
+//
+// Accounting contract: center_distance_evals counts the object-to-center
+// ||mu(o) - c||^2 evaluations of the assignment sweeps and bounds_skipped
+// the (object, center) slots the bounds proved unnecessary; the pair always
+// satisfies evals + skipped == sweeps * n * k, where sweeps is the number
+// of assignment sweeps actually run — iterations + 1 on a converged run
+// (the final sweep changes nothing but still executes, exactly as on the
+// direct path) and iterations when the cap stops the loop. Center-to-center
+// work (drift norms, half separations — O(k^2) per iteration) is not
+// counted.
+#ifndef UCLUST_CLUSTERING_CKMEANS_H_
+#define UCLUST_CLUSTERING_CKMEANS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clustering/clusterer.h"
+#include "clustering/init.h"
+#include "common/status.h"
+#include "uncertain/moments.h"
+
+namespace uclust::clustering {
+
+/// The reduced (König-Huygens) representation of an uncertain dataset: the
+/// flat expected-centroid block the Lloyd loop runs on, plus the additive
+/// per-object ED^ constants. ~(m+1) doubles per object.
+struct ReducedMoments {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  /// Row-major n x m expected centroids mu(o_i).
+  std::vector<double> means;
+  /// Per-object additive constant sigma^2(o_i) (the total variance).
+  std::vector<double> constants;
+
+  /// Flat MomentView over the reduction. Only mean() and total_variance()
+  /// are backed — the reduction exists precisely because the Lloyd loop
+  /// reads nothing else; second_moment()/variance() would dereference null.
+  uncertain::MomentView view() const {
+    return uncertain::MomentView(n, m, means.data(), /*mu2=*/nullptr,
+                                 /*var=*/nullptr, constants.data());
+  }
+};
+
+/// Copies the expected centroids and ED^ constants out of `mm` in one
+/// blocked pass. Works against flat and chunked (mapped) views alike; the
+/// copied values are bit-identical to what the view serves.
+ReducedMoments CkmeansReduce(const engine::Engine& eng,
+                             const uncertain::MomentView& mm);
+
+/// The CK-means fast path as a standalone registry algorithm. As a library
+/// entry point, prefer Ukmeans — it routes through this path automatically
+/// when the engine's ukmeans_* knobs are on (the default).
+class CkMeans final : public Clusterer {
+ public:
+  /// Audit observer for the bound-invariant tests: fired after every drift
+  /// maintenance step with the new centroids and the loosened bounds, so a
+  /// test can verify upper >= d(o, assigned) and lower <= min distance to
+  /// the other centers. Empty upper/lower spans when pruning is off.
+  using BoundAudit = std::function<void(
+      int iteration, std::span<const double> centroids,
+      std::span<const int> labels, std::span<const double> upper,
+      std::span<const double> lower)>;
+
+  /// Tuning knobs.
+  struct Params {
+    int max_iters = 100;  ///< Cap on Lloyd iterations.
+    /// Seeding: Forgy (the paper's choice) or D^2-weighted. The epoch-
+    /// streaming driver of ClusterFile supports kRandom only.
+    InitStrategy init = InitStrategy::kRandom;
+    /// Run on the reduced representation (off = sweep the MomentView
+    /// directly, still with bounds if enabled).
+    bool reduction = true;
+    /// Maintain Hamerly/Elkan bounds and skip proven assignments.
+    bool bound_pruning = true;
+    /// ClusterFile only — rows per streamed mini-batch. 0 = auto: keep the
+    /// reduced representation resident when it fits the engine memory
+    /// budget, otherwise epoch-stream at the ingestion default batch size.
+    /// Nonzero forces epoch streaming with that batch size.
+    std::size_t minibatch_size = 0;
+    /// Test-only bound observer (see BoundAudit); empty in production.
+    BoundAudit bound_audit;
+  };
+
+  /// Outcome of the kernel (mirrors Ukmeans::Outcome plus the counters).
+  struct Outcome {
+    std::vector<int> labels;
+    double objective = 0.0;  ///< sum_o [ sigma^2(o) + ||mu(o) - c_l(o)||^2 ].
+    int iterations = 0;
+    int64_t center_distance_evals = 0;
+    int64_t bounds_skipped = 0;
+  };
+
+  CkMeans() = default;
+  explicit CkMeans(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "CK-means"; }
+  ClusteringResult Cluster(const data::UncertainDataset& data, int k,
+                           uint64_t seed) const override;
+
+  /// Kernel entry point for pre-packed moment statistics. Bit-identical to
+  /// Ukmeans::RunOnMoments (same seeding, tie-breaking, update, and
+  /// empty-cluster reseed order) for every Params combination, at any
+  /// engine thread count.
+  static Outcome RunOnMoments(const uncertain::MomentView& mm, int k,
+                              uint64_t seed, const Params& params,
+                              const engine::Engine& eng =
+                                  engine::Engine::Serial());
+
+  /// File-backed driver: clusters a binary .ubin dataset in bounded memory.
+  /// Auto mode (minibatch_size == 0) streams one reduction pass and runs
+  /// resident when (m+1)*n doubles fit the engine budget; otherwise — or
+  /// when a mini-batch size is forced — it re-streams the file once per
+  /// iteration (plus one seeding and one objective pass) holding only O(n)
+  /// labels/bounds and one batch of moments. Labels, objective, and
+  /// iteration count are bit-identical to RunOnMoments over the fully
+  /// ingested file, for every mini-batch size and thread count.
+  static common::Result<ClusteringResult> ClusterFile(
+      const std::string& path, int k, uint64_t seed, const Params& params,
+      const engine::Engine& eng = engine::Engine::Serial());
+
+ private:
+  Params params_;
+};
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_CKMEANS_H_

@@ -60,6 +60,19 @@ struct ClusteringResult {
   /// Sweep pairs skipped by cheap spatial bounds instead of evaluated
   /// (the pruned-sweep policy; see clustering::PairwiseBoundIndex).
   int64_t pairs_pruned = 0;
+  /// Closed-form object-to-center distance evaluations the centroid methods
+  /// performed (the ||mu(o) - c||^2 computations of the UK-means assignment
+  /// sweeps — the quantity the CK-means bound pruning minimizes). Together
+  /// with bounds_skipped the pair accounts for every (object, center) slot:
+  /// center_distance_evals + bounds_skipped == sweeps * n * k on the
+  /// CK-means path, where sweeps = iterations + 1 when the run converged
+  /// before the cap (the final no-change sweep still runs) and = iterations
+  /// at the cap. Center-to-center drift/separation work is not counted.
+  /// 0 for algorithms without a centroid assignment sweep.
+  int64_t center_distance_evals = 0;
+  /// (object, center) distance evaluations the CK-means Hamerly/Elkan bounds
+  /// proved unnecessary and skipped. 0 when bound pruning is off.
+  int64_t bounds_skipped = 0;
 };
 
 /// Abstract clustering algorithm over uncertain datasets.

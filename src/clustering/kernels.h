@@ -7,6 +7,13 @@
 // for any Engine thread count (fixed block partition + ordered reduction;
 // see engine/parallel_for.h).
 //
+// The CK-means fast path (clustering/ckmeans.h) does not call AssignNearest
+// or SumMeansByLabel directly, but its bound-pruned sweeps and mini-batch
+// accumulators replicate their comparison order and partial-sum fold
+// structure exactly — that replication, not these entry points, is what
+// makes its labels bit-identical to the direct sweeps. Change the blocked
+// reduction structure here and the mirrored code there must follow.
+//
 // The pairwise kernels are tile producers: they fill row tiles (or the
 // ragged upper-triangle rows) of a symmetric pairwise table for a
 // PairwiseKernel, so the PairwiseStore backends can materialize the table

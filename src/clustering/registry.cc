@@ -1,6 +1,7 @@
 #include "clustering/registry.h"
 
 #include "clustering/basic_ukmeans.h"
+#include "clustering/ckmeans.h"
 #include "clustering/fdbscan.h"
 #include "clustering/foptics.h"
 #include "clustering/mmvar.h"
@@ -23,15 +24,17 @@ std::unique_ptr<Clusterer> MakePruned(PruningStrategy strategy, bool shift) {
 }  // namespace
 
 std::vector<std::string> RegisteredClusterers() {
-  return {"UCPC",      "UK-means",        "MMVar",       "bUK-means",
-          "MinMax-BB", "MinMax-BB+shift", "VDBiP",       "VDBiP+shift",
-          "UK-medoids", "UAHC",           "FDBSCAN",     "FOPTICS"};
+  return {"UCPC",      "UK-means",        "CK-means",    "MMVar",
+          "bUK-means", "MinMax-BB",       "MinMax-BB+shift",
+          "VDBiP",     "VDBiP+shift",     "UK-medoids",  "UAHC",
+          "FDBSCAN",   "FOPTICS"};
 }
 
 common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
     std::string_view name) {
   if (name == "UCPC") return std::unique_ptr<Clusterer>(new Ucpc());
   if (name == "UK-means") return std::unique_ptr<Clusterer>(new Ukmeans());
+  if (name == "CK-means") return std::unique_ptr<Clusterer>(new CkMeans());
   if (name == "MMVar") return std::unique_ptr<Clusterer>(new Mmvar());
   if (name == "bUK-means") {
     return std::unique_ptr<Clusterer>(new BasicUkmeans());

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "clustering/ckmeans.h"
 #include "clustering/init.h"
 #include "clustering/kernels.h"
 #include "common/stopwatch.h"
@@ -32,6 +33,8 @@ Ukmeans::Outcome Ukmeans::RunOnMoments(const uncertain::MomentView& mm,
   for (out.iterations = 0; out.iterations < params.max_iters;
        ++out.iterations) {
     // Assignment: argmin_c ED(o, c) = argmin_c ||mu(o) - c||^2 (Eq. 8).
+    // The direct sweep evaluates every (object, center) pair.
+    out.center_distance_evals += static_cast<int64_t>(n) * k;
     if (kernels::AssignNearest(eng, mm, centroids, k, out.labels) == 0) {
       break;
     }
@@ -64,8 +67,34 @@ ClusteringResult Ukmeans::Cluster(const data::UncertainDataset& data, int k,
   const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
+  // Route through the CK-means fast path when either engine knob is on
+  // (the default): same seeding, tie-breaking, and update order, so the
+  // labels, objective, and iteration count are bit-identical to the direct
+  // sweeps — only the evaluation counters differ.
+  const engine::Engine& eng = engine();
+  if (eng.ukmeans_ckmeans_reduction() || eng.ukmeans_bound_pruning()) {
+    CkMeans::Params p;
+    p.max_iters = params_.max_iters;
+    p.init = params_.init;
+    p.reduction = eng.ukmeans_ckmeans_reduction();
+    p.bound_pruning = eng.ukmeans_bound_pruning();
+    common::Stopwatch online;
+    CkMeans::Outcome outcome = CkMeans::RunOnMoments(mm, k, seed, p, eng);
+    ClusteringResult result;
+    result.online_ms = online.ElapsedMs();
+    result.offline_ms = offline_ms;
+    result.labels = std::move(outcome.labels);
+    result.k_requested = k;
+    result.clusters_found = CountClusters(result.labels);
+    result.iterations = outcome.iterations;
+    result.objective = outcome.objective;
+    result.center_distance_evals = outcome.center_distance_evals;
+    result.bounds_skipped = outcome.bounds_skipped;
+    return result;
+  }
+
   common::Stopwatch online;
-  Outcome outcome = RunOnMoments(mm, k, seed, params_, engine());
+  Outcome outcome = RunOnMoments(mm, k, seed, params_, eng);
   ClusteringResult result;
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;
@@ -74,6 +103,7 @@ ClusteringResult Ukmeans::Cluster(const data::UncertainDataset& data, int k,
   result.clusters_found = CountClusters(result.labels);
   result.iterations = outcome.iterations;
   result.objective = outcome.objective;
+  result.center_distance_evals = outcome.center_distance_evals;
   return result;
 }
 

@@ -1,7 +1,17 @@
 // UK-means in the efficient formulation of Lee, Kao & Cheng (ICDM-W 2007):
 // because ED(o, c) = ED(o, mu(o)) + ||c - mu(o)||^2 (Eq. 8) and the first
 // term is constant per object, the algorithm reduces to Lloyd's K-means on
-// the objects' expected-value vectors. Online complexity O(I k n m).
+// the objects' expected-value vectors.
+//
+// Cost model: the direct sweeps here are O(I k n m) — every (object,
+// center) pair is evaluated every iteration. By default Cluster() routes
+// through the CK-means fast path (clustering/ckmeans.h), which copies the
+// reduced representation out of the moments once and prunes most of those
+// evaluations with Hamerly/Elkan bounds, making late iterations O(n m);
+// the engine knobs ukmeans_ckmeans_reduction / ukmeans_bound_pruning fall
+// back to the direct sweeps below, bit for bit the same labels either way.
+// RunOnMoments always runs the direct sweeps — it is the reference the
+// CK-means bit-identity tests compare against.
 #ifndef UCLUST_CLUSTERING_UKMEANS_H_
 #define UCLUST_CLUSTERING_UKMEANS_H_
 
@@ -27,6 +37,12 @@ class Ukmeans final : public Clusterer {
     std::vector<int> labels;
     double objective = 0.0;  ///< sum_C J_UK(C) = sum_o ED(o, C_UK(o)).
     int iterations = 0;
+    /// ||mu(o) - c||^2 evaluations of the assignment sweeps — exactly
+    /// sweeps * n * k on this direct path, where sweeps = iterations + 1
+    /// on a converged run (the final no-change sweep executes before the
+    /// loop breaks) and = iterations at the max_iters cap. The baseline the
+    /// CK-means bound pruning is measured against.
+    int64_t center_distance_evals = 0;
   };
 
   Ukmeans() = default;

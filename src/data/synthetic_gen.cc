@@ -1,0 +1,161 @@
+#include "data/synthetic_gen.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/math_utils.h"
+#include "data/uncertainty_model.h"
+#include "io/dataset_writer.h"
+#include "uncertain/discrete_pdf.h"
+
+namespace uclust::data {
+
+namespace {
+
+// Discrete stand-in for MakeUncertainPdf: five point masses centered on w
+// with half-spread sqrt(3)*scale (matching the uniform family's support).
+uncertain::PdfPtr MakeDiscretePdf(double w, double scale, common::Rng* rng) {
+  const double half = scale * std::sqrt(3.0);
+  std::vector<double> values(5);
+  for (double& v : values) v = w + rng->Uniform(-half, half);
+  return uncertain::DiscretePdf::Uniformly(std::move(values));
+}
+
+// Mixture centers in the unit cube with pairwise distance >= min_sep,
+// geometrically relaxed when rejection stalls (same scheme as
+// data::MakeGaussianMixture).
+std::vector<std::vector<double>> DrawCenters(std::size_t dims, int classes,
+                                             double min_sep,
+                                             common::Rng* rng) {
+  std::vector<std::vector<double>> centers;
+  double sep = min_sep;
+  int stall = 0;
+  while (static_cast<int>(centers.size()) < classes) {
+    std::vector<double> c(dims);
+    for (auto& x : c) x = rng->Uniform();
+    bool ok = true;
+    for (const auto& other : centers) {
+      if (common::Distance(c, other) < sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      centers.push_back(std::move(c));
+      stall = 0;
+    } else if (++stall > 200) {
+      sep *= 0.8;
+      stall = 0;
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+bool ParseGenFamily(const std::string& text, GenFamily* out) {
+  if (text == "uniform") *out = GenFamily::kUniform;
+  else if (text == "normal") *out = GenFamily::kNormal;
+  else if (text == "exponential") *out = GenFamily::kExponential;
+  else if (text == "discrete") *out = GenFamily::kDiscrete;
+  else if (text == "mix") *out = GenFamily::kMix;
+  else return false;
+  return true;
+}
+
+const char* GenFamilyName(GenFamily family) {
+  switch (family) {
+    case GenFamily::kUniform: return "uniform";
+    case GenFamily::kNormal: return "normal";
+    case GenFamily::kExponential: return "exponential";
+    case GenFamily::kDiscrete: return "discrete";
+    case GenFamily::kMix: return "mix";
+  }
+  return "?";
+}
+
+common::Status ValidateSyntheticGenParams(const SyntheticGenParams& p) {
+  if (p.n == 0 || p.m == 0 || p.classes < 1 ||
+      p.n < static_cast<std::size_t>(p.classes) || p.min_scale_frac <= 0.0 ||
+      p.min_scale_frac > p.max_scale_frac) {
+    return common::Status::InvalidArgument(
+        "synthetic_gen: invalid shape/scale parameters");
+  }
+  return common::Status::Ok();
+}
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticGenParams& params)
+    : params_(params) {
+  // Master stream: centers and per-class spreads only (O(classes * m)).
+  common::Rng master(params_.seed);
+  centers_ = DrawCenters(params_.m, params_.classes, params_.min_separation,
+                         &master);
+  sigmas_.resize(params_.classes);
+  for (auto& s : sigmas_) {
+    s.resize(params_.m);
+    for (auto& x : s) x = master.Uniform(params_.sigma_min, params_.sigma_max);
+  }
+}
+
+uncertain::UncertainObject SyntheticGenerator::MakeObject(std::size_t i,
+                                                          int* label) const {
+  static constexpr GenFamily kCycle[] = {
+      GenFamily::kUniform, GenFamily::kNormal, GenFamily::kExponential,
+      GenFamily::kDiscrete};
+  // Per-object sub-stream: the content is independent of generation order
+  // or batching.
+  common::Rng rng(common::DeriveSeed(params_.seed, i));
+  const int c =
+      static_cast<int>(rng.Index(static_cast<std::size_t>(params_.classes)));
+  const GenFamily fam =
+      params_.family == GenFamily::kMix ? kCycle[i % 4] : params_.family;
+  std::vector<uncertain::PdfPtr> pdfs;
+  pdfs.reserve(params_.m);
+  for (std::size_t j = 0; j < params_.m; ++j) {
+    const double w = rng.Normal(centers_[c][j], sigmas_[c][j]);
+    const double scale = rng.Uniform(params_.min_scale_frac,
+                                     params_.max_scale_frac);
+    switch (fam) {
+      case GenFamily::kUniform:
+        pdfs.push_back(MakeUncertainPdf(PdfFamily::kUniform, w, scale));
+        break;
+      case GenFamily::kNormal:
+        pdfs.push_back(MakeUncertainPdf(PdfFamily::kNormal, w, scale));
+        break;
+      case GenFamily::kExponential:
+        pdfs.push_back(MakeUncertainPdf(PdfFamily::kExponential, w, scale));
+        break;
+      case GenFamily::kDiscrete:
+        pdfs.push_back(MakeDiscretePdf(w, scale, &rng));
+        break;
+      case GenFamily::kMix:
+        break;  // unreachable: fam is resolved above
+    }
+  }
+  if (label != nullptr) *label = c;
+  return uncertain::UncertainObject(std::move(pdfs));
+}
+
+common::Status WriteSyntheticDataset(const SyntheticGenParams& params,
+                                     const std::string& out_path,
+                                     const std::string& name) {
+  common::Status st = ValidateSyntheticGenParams(params);
+  if (!st.ok()) return st;
+  const SyntheticGenerator gen(params);
+
+  io::BinaryDatasetWriter writer;
+  st = writer.Open(out_path, params.m, name, params.classes,
+                   /*with_labels=*/true);
+  if (!st.ok()) return st;
+  for (std::size_t i = 0; i < params.n; ++i) {
+    int label = -1;
+    // Two statements: argument evaluation order must not decide whether
+    // `label` is read before MakeObject stores it.
+    const uncertain::UncertainObject object = gen.MakeObject(i, &label);
+    st = writer.Append(object, label);
+    if (!st.ok()) return st;
+  }
+  return writer.Finish();
+}
+
+}  // namespace uclust::data

@@ -1,0 +1,93 @@
+// Synthetic uncertain-dataset generator (the paper's Section 5.1 protocol),
+// extracted from tools/dataset_gen so tests and benches can produce the
+// exact bytes the tool produces without shelling out.
+//
+// A labeled Gaussian mixture in the unit cube provides the deterministic
+// class centers w; each (object, dimension) gets a pdf with expected value w
+// and a randomly drawn scale. The master rng stream draws only the centers
+// and per-class spreads (O(classes * m) state); every object then draws from
+// its own sub-stream seeded with DeriveSeed(seed, i), so the generated
+// content is a pure function of (params, i) — independent of generation
+// order, batching, or how many objects are materialized.
+//
+// Determinism contract: for equal params, MakeObject(i) performs the exact
+// same rng call sequence (class index, then per-dimension location / scale /
+// discrete support draws) on every run, so WriteSyntheticDataset produces
+// byte-identical files across runs and platforms with the same rng
+// implementation. tests/test_dataset_gen.cc pins this.
+#ifndef UCLUST_DATA_SYNTHETIC_GEN_H_
+#define UCLUST_DATA_SYNTHETIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "uncertain/uncertain_object.h"
+
+namespace uclust::data {
+
+/// Pdf family selector: the paper's three continuous families, a discrete
+/// stand-in (five weighted point masses), or a deterministic per-object
+/// cycle through all four.
+enum class GenFamily { kUniform, kNormal, kExponential, kDiscrete, kMix };
+
+/// Parses "uniform" / "normal" / "exponential" / "discrete" / "mix".
+/// Returns false (leaving *out untouched) on anything else.
+bool ParseGenFamily(const std::string& text, GenFamily* out);
+
+/// Display name matching ParseGenFamily's spellings.
+const char* GenFamilyName(GenFamily family);
+
+/// Generation parameters; defaults mirror tools/dataset_gen's flags.
+struct SyntheticGenParams {
+  std::size_t n = 10000;          ///< Objects.
+  std::size_t m = 8;              ///< Dimensions.
+  int classes = 4;                ///< Mixture components / class labels.
+  GenFamily family = GenFamily::kNormal;
+  double min_scale_frac = 0.02;   ///< Min pdf scale (fraction of unit range).
+  double max_scale_frac = 0.10;   ///< Max pdf scale.
+  double sigma_min = 0.04;        ///< Min per-dimension class stddev.
+  double sigma_max = 0.09;        ///< Max per-dimension class stddev.
+  double min_separation = 0.25;   ///< Min pairwise center distance.
+  uint64_t seed = 1;              ///< Master seed.
+};
+
+/// Rejects empty shapes, n < classes, and non-positive / inverted scale
+/// ranges — the same guard tools/dataset_gen applies to its flags.
+common::Status ValidateSyntheticGenParams(const SyntheticGenParams& params);
+
+/// The generator core. Construction consumes the master stream (centers +
+/// per-class spreads); MakeObject(i) is then const and order-independent.
+class SyntheticGenerator {
+ public:
+  /// `params` must satisfy ValidateSyntheticGenParams.
+  explicit SyntheticGenerator(const SyntheticGenParams& params);
+
+  const SyntheticGenParams& params() const { return params_; }
+  /// Mixture centers actually drawn (pairwise separation may have been
+  /// geometrically relaxed if rejection stalled).
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+
+  /// Generates object i from its own sub-stream. Stores the drawn class
+  /// label in *label (always in [0, classes)).
+  uncertain::UncertainObject MakeObject(std::size_t i, int* label) const;
+
+ private:
+  SyntheticGenParams params_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<std::vector<double>> sigmas_;
+};
+
+/// One bounded-memory pass: generates all n objects and streams them to
+/// `out_path` in the binary dataset format with labels (O(classes * m)
+/// working memory plus the writer's label column). `name` is the dataset
+/// name stored in the file header.
+common::Status WriteSyntheticDataset(const SyntheticGenParams& params,
+                                     const std::string& out_path,
+                                     const std::string& name);
+
+}  // namespace uclust::data
+
+#endif  // UCLUST_DATA_SYNTHETIC_GEN_H_

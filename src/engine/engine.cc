@@ -14,6 +14,9 @@ Engine::Engine(const EngineConfig& config) {
   pairwise_gather_tiles_ = config.pairwise_gather_tiles;
   pairwise_warm_rows_ = config.pairwise_warm_rows;
   pairwise_pruned_sweeps_ = config.pairwise_pruned_sweeps;
+  ukmeans_ckmeans_reduction_ = config.ukmeans_ckmeans_reduction;
+  ukmeans_bound_pruning_ = config.ukmeans_bound_pruning;
+  ukmeans_minibatch_size_ = config.ukmeans_minibatch_size;
   int threads = config.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -44,6 +47,11 @@ EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
   config.pairwise_warm_rows = args.GetBool("pairwise_warm_rows", true);
   config.pairwise_pruned_sweeps =
       args.GetBool("pairwise_pruned_sweeps", true);
+  config.ukmeans_ckmeans_reduction =
+      args.GetBool("ukmeans_ckmeans_reduction", true);
+  config.ukmeans_bound_pruning = args.GetBool("ukmeans_bound_pruning", true);
+  config.ukmeans_minibatch_size =
+      static_cast<std::size_t>(args.GetInt("ukmeans_minibatch_size", 0));
   return config;
 }
 

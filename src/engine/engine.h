@@ -64,6 +64,29 @@ struct EngineConfig {
   /// sweep) skip pairs whose value is provably 0 under cheap spatial bounds
   /// (clustering::PairwiseBoundIndex) before any kernel evaluation.
   bool pairwise_pruned_sweeps = true;
+  /// UK-means fast-path knobs (the CK-means moment reduction; see
+  /// clustering/ckmeans.h). Both toggles are pure recompute/memory
+  /// optimizations under the library determinism contract: labels,
+  /// objective, and iteration count are bit-identical to the direct
+  /// UK-means sweeps with any combination, at any thread count.
+  ///
+  /// Reduction: run the Lloyd loop on per-object expected centroids plus an
+  /// additive constant (König-Huygens) copied out of the MomentView once —
+  /// on a Mapped (out-of-core) store this replaces per-sweep chunk faults
+  /// with one sequential pass and ~(m+1)/(3m+1) of the resident bytes.
+  bool ukmeans_ckmeans_reduction = true;
+  /// Bound pruning: maintain Hamerly-style per-object upper/lower bounds
+  /// from per-center drift norms and skip provably unchanged assignments,
+  /// making late sweeps O(n) instead of O(n k) distance evaluations
+  /// (counted by ClusteringResult::center_distance_evals/bounds_skipped).
+  bool ukmeans_bound_pruning = true;
+  /// Mini-batch rows per streamed batch for the file-backed CK-means driver
+  /// (clustering::CkMeans::ClusterFile). 0 = auto: keep the reduced
+  /// representation resident when it fits memory_budget_bytes, otherwise
+  /// re-stream the file per iteration at the default batch size. A nonzero
+  /// value forces the epoch-streaming driver with that batch size. Pure
+  /// memory knob: results are bit-identical for every value.
+  std::size_t ukmeans_minibatch_size = 0;
 };
 
 /// Copyable handle bundling an EngineConfig with a (shared) thread pool.
@@ -95,6 +118,14 @@ class Engine {
   bool pairwise_warm_rows() const { return pairwise_warm_rows_; }
   /// Bound-based pair pruning policy for streaming pairwise sweeps.
   bool pairwise_pruned_sweeps() const { return pairwise_pruned_sweeps_; }
+  /// CK-means moment-reduction fast path for UK-means.
+  bool ukmeans_ckmeans_reduction() const { return ukmeans_ckmeans_reduction_; }
+  /// Hamerly/Elkan bound pruning for the CK-means assignment sweeps.
+  bool ukmeans_bound_pruning() const { return ukmeans_bound_pruning_; }
+  /// Mini-batch size for the file-backed CK-means driver (0 = auto).
+  std::size_t ukmeans_minibatch_size() const {
+    return ukmeans_minibatch_size_;
+  }
   /// The pool, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
@@ -105,15 +136,21 @@ class Engine {
   bool pairwise_gather_tiles_ = true;
   bool pairwise_warm_rows_ = true;
   bool pairwise_pruned_sweeps_ = true;
+  bool ukmeans_ckmeans_reduction_ = true;
+  bool ukmeans_bound_pruning_ = true;
+  std::size_t ukmeans_minibatch_size_ = 0;
   std::shared_ptr<ThreadPool> pool_;
 };
 
 /// Reads `--threads=N` (0 = auto), `--block_size=B`,
 /// `--memory_budget_bytes=B` (or the `--memory_budget_mb=M` convenience
 /// form; bytes win when both are given, 0 = unlimited),
-/// `--moment_chunk_rows=R` (0 = default), and the tile-policy toggles
+/// `--moment_chunk_rows=R` (0 = default), the tile-policy toggles
 /// `--pairwise_gather_tiles=0/1`, `--pairwise_warm_rows=0/1`,
-/// `--pairwise_pruned_sweeps=0/1` (all default 1) from parsed flags.
+/// `--pairwise_pruned_sweeps=0/1` (all default 1), and the UK-means
+/// fast-path knobs `--ukmeans_ckmeans_reduction=0/1`,
+/// `--ukmeans_bound_pruning=0/1` (default 1), and
+/// `--ukmeans_minibatch_size=N` (0 = auto) from parsed flags.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <utility>
 
+#include "engine/parallel_for.h"
 #include "io/mmap_file.h"
 #include "io/moment_file.h"
 #include "io/moment_format.h"
@@ -85,6 +87,91 @@ common::Status BuildMomentSidecar(const std::string& dataset_path,
                                    "place: " + ec.message());
   }
   return common::Status::Ok();
+}
+
+common::Status MomentBatchStream::Open(const std::string& path) {
+  path_ = path;
+  reader_ = std::make_unique<BinaryDatasetReader>();
+  UCLUST_RETURN_NOT_OK(reader_->Open(path));
+  n_ = reader_->size();
+  m_ = reader_->dims();
+  name_ = reader_->name();
+  base_index_ = 0;
+  next_index_ = 0;
+  batch_rows_ = 0;
+  return common::Status::Ok();
+}
+
+common::Status MomentBatchStream::Rewind() {
+  // The binary format is strictly forward-only; restarting means reopening
+  // the record cursor on a fresh reader (the header re-validates for free).
+  reader_ = std::make_unique<BinaryDatasetReader>();
+  UCLUST_RETURN_NOT_OK(reader_->Open(path_));
+  if (reader_->size() != n_ || reader_->dims() != m_) {
+    return common::Status::Internal(
+        path_ + ": dataset changed shape between streaming passes");
+  }
+  base_index_ = 0;
+  next_index_ = 0;
+  batch_rows_ = 0;
+  return common::Status::Ok();
+}
+
+common::Result<std::size_t> MomentBatchStream::NextBatch(
+    std::size_t max_rows) {
+  if (reader_ == nullptr) return common::Status::Internal("stream not open");
+  base_index_ = next_index_;
+  batch_rows_ = 0;
+  if (reader_->remaining() == 0) return std::size_t{0};
+  UCLUST_RETURN_NOT_OK(reader_->ReadBatch(max_rows, &objects_));
+  batch_rows_ = objects_.size();
+  next_index_ = base_index_ + batch_rows_;
+  mean_.resize(batch_rows_ * m_);
+  mu2_.resize(batch_rows_ * m_);
+  var_.resize(batch_rows_ * m_);
+  total_var_.resize(batch_rows_);
+  engine::ParallelFor(engine_, batch_rows_,
+                      [&](const engine::BlockedRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const uncertain::UncertainObject& o = objects_[i];
+      const std::size_t row = i * m_;
+      uncertain::MomentMatrix::PackRow(o.mean(), o.second_moment(),
+                                       o.variance(), mean_.data() + row,
+                                       mu2_.data() + row, var_.data() + row,
+                                       total_var_.data() + i);
+    }
+  });
+  return batch_rows_;
+}
+
+common::Status MomentBatchStream::ReadMeanAt(std::size_t index,
+                                             std::span<double> out) const {
+  if (index >= n_ || out.size() != m_) {
+    return common::Status::InvalidArgument(
+        path_ + ": ReadMeanAt index/shape out of range");
+  }
+  BinaryDatasetReader reader;
+  UCLUST_RETURN_NOT_OK(reader.Open(path_));
+  std::vector<uncertain::UncertainObject> batch;
+  std::size_t skipped = 0;
+  // Forward-skip in whole batches; only the batch holding `index` matters.
+  constexpr std::size_t kSkipBatch = 1024;
+  while (skipped + kSkipBatch <= index) {
+    UCLUST_RETURN_NOT_OK(reader.ReadBatch(kSkipBatch, &batch));
+    skipped += batch.size();
+  }
+  UCLUST_RETURN_NOT_OK(reader.ReadBatch(index - skipped + 1, &batch));
+  if (skipped + batch.size() != index + 1) {
+    return common::Status::Internal(path_ + ": short read in ReadMeanAt");
+  }
+  const auto mean = batch.back().mean();
+  std::copy(mean.begin(), mean.end(), out.begin());
+  return common::Status::Ok();
+}
+
+common::Status MomentBatchStream::ReadLabels(std::vector<int>* labels) {
+  if (reader_ == nullptr) return common::Status::Internal("stream not open");
+  return reader_->ReadLabels(labels);
 }
 
 common::Result<uncertain::MomentStorePtr> StreamMomentStoreFromFile(

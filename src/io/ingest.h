@@ -20,6 +20,8 @@
 #ifndef UCLUST_IO_INGEST_H_
 #define UCLUST_IO_INGEST_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -110,6 +112,72 @@ common::Status BuildMomentSidecar(
     const engine::Engine& eng = engine::Engine::Serial(),
     std::size_t chunk_rows = 0,
     std::size_t batch_size = uncertain::DatasetBuilder::kDefaultBatchSize);
+
+/// Re-streamable batch-at-a-time moment statistics over a binary dataset
+/// file — the input side of the mini-batch CK-means driver (and any other
+/// consumer that wants moment rows in bounded memory without materializing
+/// a MomentStore). Each NextBatch() deserializes one batch of pdf objects
+/// and packs their moments into a reused flat scratch block through the
+/// canonical MomentMatrix::PackRow, so the served values are bit-identical
+/// to a full ingestion via DatasetBuilder for any batch size and thread
+/// count. Rewind() restarts the record cursor for multi-pass consumers
+/// (the underlying reader is forward-only, so a rewind reopens the file).
+class MomentBatchStream {
+ public:
+  /// `eng` dispatches the per-batch packing pass.
+  explicit MomentBatchStream(
+      const engine::Engine& eng = engine::Engine::Serial())
+      : engine_(eng) {}
+
+  /// Opens `path` and validates the header.
+  common::Status Open(const std::string& path);
+
+  /// Number of objects in the file.
+  std::size_t size() const { return n_; }
+  /// Dimensionality of every object.
+  std::size_t dims() const { return m_; }
+  /// Dataset name stored in the file.
+  const std::string& name() const { return name_; }
+
+  /// Restarts the stream at object 0 (reopens the record cursor).
+  common::Status Rewind();
+
+  /// Packs the next min(max_rows, remaining) objects' moments into the
+  /// internal scratch block and returns the row count (0 at end of stream).
+  /// `max_rows` must be > 0.
+  common::Result<std::size_t> NextBatch(std::size_t max_rows);
+
+  /// Absolute object index of row 0 of the current batch.
+  std::size_t base_index() const { return base_index_; }
+  /// Flat view over the current batch's moment rows (batch-local indices;
+  /// valid until the next NextBatch/Rewind call).
+  uncertain::MomentView batch_view() const {
+    return uncertain::MomentView(batch_rows_, m_, mean_.data(), mu2_.data(),
+                                 var_.data(), total_var_.data());
+  }
+
+  /// Reads the mean vector of one object by absolute index through a fresh
+  /// forward scan (the format has no random access); `out` must have dims()
+  /// elements. O(index) — intended for rare lookups such as the CK-means
+  /// empty-cluster reseed, not for bulk access.
+  common::Status ReadMeanAt(std::size_t index, std::span<double> out) const;
+
+  /// Reads the labels column (empty when the file is unlabeled).
+  common::Status ReadLabels(std::vector<int>* labels);
+
+ private:
+  engine::Engine engine_;
+  std::string path_;
+  std::string name_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t base_index_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t batch_rows_ = 0;
+  std::unique_ptr<BinaryDatasetReader> reader_;
+  std::vector<uncertain::UncertainObject> objects_;
+  std::vector<double> mean_, mu2_, var_, total_var_;
+};
 
 }  // namespace uclust::io
 

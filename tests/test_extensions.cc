@@ -34,9 +34,9 @@ data::UncertainDataset PlantedDataset(std::size_t n, int classes,
   return data::UncertaintyModel(d, up, seed + 1).Uncertain();
 }
 
-TEST(Registry, ListsAllTwelveAlgorithms) {
+TEST(Registry, ListsAllThirteenAlgorithms) {
   const auto names = clustering::RegisteredClusterers();
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
   const std::set<std::string> unique(names.begin(), names.end());
   EXPECT_EQ(unique.size(), names.size());
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "clustering/basic_ukmeans.h"
+#include "clustering/ckmeans.h"
 #include "clustering/mmvar.h"
 #include "clustering/registry.h"
 #include "clustering/ucpc.h"
@@ -58,6 +59,48 @@ TEST(ParallelDeterminism, UkmeansBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(out.labels, baseline.labels) << "threads=" << threads;
     EXPECT_EQ(out.objective, baseline.objective) << "threads=" << threads;
     EXPECT_EQ(out.iterations, baseline.iterations) << "threads=" << threads;
+  }
+}
+
+// CK-means knob sweep: every (reduction, bound_pruning) combination must
+// reproduce the direct UK-means sweeps bit-for-bit at any thread count.
+// The evaluation/skip counters are a pure function of the (deterministic)
+// pruning decisions, so they too must be thread-count independent — they
+// legitimately differ ACROSS knob combinations, never across threads.
+TEST(ParallelDeterminism, CkmeansKnobSweepBitIdenticalAcrossThreadCounts) {
+  const auto ds = TestDataset(700, 4, 5, 31);
+  const auto direct = Ukmeans::RunOnMoments(ds.moments(), 5, 7,
+                                            Ukmeans::Params(), EngineWith(1));
+  for (const bool reduction : {false, true}) {
+    for (const bool bounds : {false, true}) {
+      CkMeans::Params p;
+      p.reduction = reduction;
+      p.bound_pruning = bounds;
+      CkMeans::Outcome serial;
+      for (int threads : kThreadCounts) {
+        const auto out =
+            CkMeans::RunOnMoments(ds.moments(), 5, 7, p, EngineWith(threads));
+        EXPECT_EQ(out.labels, direct.labels)
+            << "reduction=" << reduction << " bounds=" << bounds
+            << " threads=" << threads;
+        EXPECT_EQ(out.objective, direct.objective)
+            << "reduction=" << reduction << " bounds=" << bounds
+            << " threads=" << threads;
+        EXPECT_EQ(out.iterations, direct.iterations)
+            << "reduction=" << reduction << " bounds=" << bounds
+            << " threads=" << threads;
+        if (threads == 1) {
+          serial = out;
+        } else {
+          EXPECT_EQ(out.center_distance_evals, serial.center_distance_evals)
+              << "reduction=" << reduction << " bounds=" << bounds
+              << " threads=" << threads;
+          EXPECT_EQ(out.bounds_skipped, serial.bounds_skipped)
+              << "reduction=" << reduction << " bounds=" << bounds
+              << " threads=" << threads;
+        }
+      }
+    }
   }
 }
 

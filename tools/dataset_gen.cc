@@ -3,12 +3,12 @@
 // every object is generated from its own rng sub-stream and serialized
 // immediately, so arbitrarily large n fits in O(classes * m) working memory.
 //
-// The generator mirrors the paper's protocol: a labeled Gaussian mixture in
-// the unit cube provides the deterministic centers w, and each (object,
-// dimension) gets a pdf with expected value w and a randomly drawn scale
-// (Section 5.1). Families: uniform / normal / exponential (the paper's
-// three), discrete (weighted point masses), or "mix" cycling through all
-// four.
+// The generator core lives in src/data/synthetic_gen.h (the paper's
+// Section 5.1 protocol: labeled Gaussian-mixture centers in the unit cube,
+// per-dimension pdfs with randomly drawn scales); this tool is a thin flag
+// wrapper around it. Equal flags — in particular equal --seed — produce
+// byte-identical output files (tests/test_dataset_gen.cc pins this through
+// the shared core).
 //
 // Flags:
 //   --out=PATH        output file                      (required)
@@ -31,75 +31,16 @@
 //                     re-ingesting (see src/io/moment_file.h)
 //   --moment_chunk_rows=R     sidecar chunk rows (rounded up to a power of
 //                     two; 0 = format default)
-#include <cmath>
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "common/cli.h"
-#include "common/math_utils.h"
-#include "common/rng.h"
-#include "data/uncertainty_model.h"
-#include "io/dataset_writer.h"
+#include "data/synthetic_gen.h"
 #include "io/ingest.h"
-#include "uncertain/discrete_pdf.h"
-#include "uncertain/uncertain_object.h"
 
 namespace {
 
 using namespace uclust;  // NOLINT: tool brevity
-
-// Family selector covering the tool's extra options beyond PdfFamily.
-enum class GenFamily { kUniform, kNormal, kExponential, kDiscrete, kMix };
-
-bool ParseGenFamily(const std::string& text, GenFamily* out) {
-  if (text == "uniform") *out = GenFamily::kUniform;
-  else if (text == "normal") *out = GenFamily::kNormal;
-  else if (text == "exponential") *out = GenFamily::kExponential;
-  else if (text == "discrete") *out = GenFamily::kDiscrete;
-  else if (text == "mix") *out = GenFamily::kMix;
-  else return false;
-  return true;
-}
-
-// Discrete stand-in for MakeUncertainPdf: five point masses centered on w
-// with half-spread sqrt(3)*scale (matching the uniform family's support).
-uncertain::PdfPtr MakeDiscretePdf(double w, double scale, common::Rng* rng) {
-  const double half = scale * std::sqrt(3.0);
-  std::vector<double> values(5);
-  for (double& v : values) v = w + rng->Uniform(-half, half);
-  return uncertain::DiscretePdf::Uniformly(std::move(values));
-}
-
-// Mixture centers in the unit cube with pairwise distance >= min_sep,
-// geometrically relaxed when rejection stalls (same scheme as
-// data::MakeGaussianMixture).
-std::vector<std::vector<double>> DrawCenters(std::size_t dims, int classes,
-                                             double min_sep,
-                                             common::Rng* rng) {
-  std::vector<std::vector<double>> centers;
-  double sep = min_sep;
-  int stall = 0;
-  while (static_cast<int>(centers.size()) < classes) {
-    std::vector<double> c(dims);
-    for (auto& x : c) x = rng->Uniform();
-    bool ok = true;
-    for (const auto& other : centers) {
-      if (common::Distance(c, other) < sep) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      centers.push_back(std::move(c));
-      stall = 0;
-    } else if (++stall > 200) {
-      sep *= 0.8;
-      stall = 0;
-    }
-  }
-  return centers;
-}
 
 }  // namespace
 
@@ -110,96 +51,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dataset_gen: --out=PATH is required\n");
     return 1;
   }
-  const std::size_t n = static_cast<std::size_t>(args.GetInt("n", 10000));
-  const std::size_t m = static_cast<std::size_t>(args.GetInt("m", 8));
-  const int classes = static_cast<int>(args.GetInt("classes", 4));
-  const double min_scale = args.GetDouble("min_scale_frac", 0.02);
-  const double max_scale = args.GetDouble("max_scale_frac", 0.10);
-  const double sigma_min = args.GetDouble("sigma_min", 0.04);
-  const double sigma_max = args.GetDouble("sigma_max", 0.09);
-  const double min_sep = args.GetDouble("min_separation", 0.25);
+  data::SyntheticGenParams params;
+  params.n = static_cast<std::size_t>(args.GetInt("n", 10000));
+  params.m = static_cast<std::size_t>(args.GetInt("m", 8));
+  params.classes = static_cast<int>(args.GetInt("classes", 4));
+  params.min_scale_frac = args.GetDouble("min_scale_frac", 0.02);
+  params.max_scale_frac = args.GetDouble("max_scale_frac", 0.10);
+  params.sigma_min = args.GetDouble("sigma_min", 0.04);
+  params.sigma_max = args.GetDouble("sigma_max", 0.09);
+  params.min_separation = args.GetDouble("min_separation", 0.25);
+  params.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string name = args.GetString("name", "synthetic");
-  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  GenFamily family = GenFamily::kNormal;
-  if (!ParseGenFamily(args.GetString("family", "normal"), &family)) {
+  if (!data::ParseGenFamily(args.GetString("family", "normal"),
+                            &params.family)) {
     std::fprintf(stderr, "dataset_gen: unknown --family (want uniform, "
                          "normal, exponential, discrete, or mix)\n");
     return 1;
   }
-  if (n == 0 || m == 0 || classes < 1 ||
-      n < static_cast<std::size_t>(classes) || min_scale <= 0.0 ||
-      min_scale > max_scale) {
+  common::Status st = data::ValidateSyntheticGenParams(params);
+  if (!st.ok()) {
     std::fprintf(stderr, "dataset_gen: invalid shape/scale parameters\n");
     return 1;
   }
 
-  // Master stream: centers and per-class spreads only (O(classes * m)).
-  common::Rng master(seed);
-  const auto centers = DrawCenters(m, classes, min_sep, &master);
-  std::vector<std::vector<double>> sigmas(classes);
-  for (auto& s : sigmas) {
-    s.resize(m);
-    for (auto& x : s) x = master.Uniform(sigma_min, sigma_max);
-  }
-
-  io::BinaryDatasetWriter writer;
-  common::Status st = writer.Open(out_path, m, name, classes,
-                                  /*with_labels=*/true);
+  st = data::WriteSyntheticDataset(params, out_path, name);
   if (!st.ok()) {
     std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
     return 1;
   }
-
-  static constexpr GenFamily kCycle[] = {
-      GenFamily::kUniform, GenFamily::kNormal, GenFamily::kExponential,
-      GenFamily::kDiscrete};
-  std::vector<uncertain::PdfPtr> pdfs;
-  for (std::size_t i = 0; i < n; ++i) {
-    // Per-object sub-stream: the file contents are independent of any
-    // generation order or batching.
-    common::Rng rng(common::DeriveSeed(seed, i));
-    const int c = static_cast<int>(rng.Index(static_cast<std::size_t>(classes)));
-    const GenFamily fam =
-        family == GenFamily::kMix ? kCycle[i % 4] : family;
-    pdfs.clear();
-    pdfs.reserve(m);
-    for (std::size_t j = 0; j < m; ++j) {
-      const double w = rng.Normal(centers[c][j], sigmas[c][j]);
-      const double scale = rng.Uniform(min_scale, max_scale);
-      switch (fam) {
-        case GenFamily::kUniform:
-          pdfs.push_back(
-              data::MakeUncertainPdf(data::PdfFamily::kUniform, w, scale));
-          break;
-        case GenFamily::kNormal:
-          pdfs.push_back(
-              data::MakeUncertainPdf(data::PdfFamily::kNormal, w, scale));
-          break;
-        case GenFamily::kExponential:
-          pdfs.push_back(data::MakeUncertainPdf(data::PdfFamily::kExponential,
-                                                w, scale));
-          break;
-        case GenFamily::kDiscrete:
-          pdfs.push_back(MakeDiscretePdf(w, scale, &rng));
-          break;
-        case GenFamily::kMix:
-          break;  // unreachable: fam is resolved above
-      }
-    }
-    st = writer.Append(uncertain::UncertainObject(std::move(pdfs)), c);
-    if (!st.ok()) {
-      std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  }
-  st = writer.Finish();
-  if (!st.ok()) {
-    std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  std::printf("[dataset_gen] wrote n=%zu m=%zu classes=%d family=%s -> %s\n",
-              n, m, classes, args.GetString("family", "normal").c_str(),
-              out_path.c_str());
+  std::printf(
+      "[dataset_gen] wrote n=%zu m=%zu classes=%d family=%s seed=%llu -> %s\n",
+      params.n, params.m, params.classes, data::GenFamilyName(params.family),
+      static_cast<unsigned long long>(params.seed), out_path.c_str());
 
   // Optional second pass: precompute the moment sidecar once so Mapped-
   // backend bench runs skip ingestion entirely (they reuse the sidecar via
