@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
 #include "clustering/fdbscan.h"
 #include "clustering/foptics.h"
@@ -172,7 +173,25 @@ int main(int argc, char** argv) {
   json.KV("seed", static_cast<int64_t>(seed));
   json.KV("threads", eng.num_threads());
   json.KV("block_size", eng.block_size());
+  json.KV("hardware_threads", static_cast<int64_t>(bench::HardwareThreads()));
+  json.KV("simd_isa", eng.simd_isa());
   json.EndObject();
+  // The kernel_throughput axis: per-ISA ED^ tile throughput on this
+  // machine, so the algorithm runtimes below are interpretable against the
+  // kernel-level ceiling (full microbench: bench_kernel_throughput).
+  json.Key("kernel_throughput");
+  json.BeginArray();
+  for (const bench::KernelThroughputRow& row :
+       bench::MeasureEd2TileThroughput(64, 64, 2048, 50.0, seed)) {
+    json.BeginObject();
+    json.KV("isa", row.isa);
+    json.KV("ed2_evals_per_s", row.ed2_evals_per_s);
+    json.KV("ed2_gb_per_s", row.ed2_gb_per_s);
+    json.EndObject();
+    std::printf("[kernel] %-7s ED^ tile %10.3g evals/s (%.2f GB/s)\n",
+                row.isa.c_str(), row.ed2_evals_per_s, row.ed2_gb_per_s);
+  }
+  json.EndArray();
   json.Key("workloads");
   json.BeginArray();
 

@@ -175,6 +175,8 @@ int main(int argc, char** argv) {
   json.KV("m", sweep_dims);
   json.KV("threads", eng.num_threads());
   json.KV("block_size", eng.block_size());
+  json.KV("hardware_threads", static_cast<int64_t>(bench::HardwareThreads()));
+  json.KV("simd_isa", eng.simd_isa());
   json.EndObject();
 
   std::printf("=== Figure 5: scalability on the %s dataset "
@@ -242,6 +244,24 @@ int main(int argc, char** argv) {
     if (frac == 1.00) largest_mm = std::move(mm);
   }
   json.EndArray();
+
+  // Timing-free results fingerprint of the 100% UK-means run (labels +
+  // objective bits only): two invocations that cluster identically print
+  // the same value no matter how fast they ran. CI diffs this line between
+  // --simd_isa=scalar and auto dispatch to pin the bit-exactness contract
+  // end to end on real hardware.
+  {
+    const auto fp_run = clustering::Ukmeans::RunOnMoments(
+        largest_mm.view(), k, seed, clustering::Ukmeans::Params(), eng);
+    const uint64_t fp = bench::ResultFingerprint(fp_run.labels,
+                                                 fp_run.objective);
+    std::printf("\nFIG5 FINGERPRINT=%016llx\n",
+                static_cast<unsigned long long>(fp));
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    json.KV("result_fingerprint", fp_hex);
+  }
 
   // Serial vs parallel on the 100% dataset: the engine's speedup entry that
   // tracks the perf trajectory across PRs.

@@ -5,7 +5,13 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "clustering/simd/simd.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "uncertain/moments.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -23,6 +29,38 @@ inline long PeakRssKb() {
   if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
 #endif
   return 0;
+}
+
+/// Hardware concurrency of the machine running the bench (0 when the
+/// runtime cannot determine it). Recorded in every bench JSON so archived
+/// artifacts are interpretable across runners: a parallel speedup of ~1.0x
+/// on hardware_threads=1 is the machine's ceiling, not a regression.
+inline unsigned HardwareThreads() { return std::thread::hardware_concurrency(); }
+
+/// FNV-1a over a label vector plus the objective's exact bits: a
+/// timing-free results fingerprint. Two runs that cluster identically
+/// produce the same value regardless of how fast they ran — the CI handle
+/// for diffing forced-scalar vs auto SIMD dispatch.
+inline uint64_t ResultFingerprint(std::span<const int> labels,
+                                  double objective) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (int label : labels) {
+    for (int b = 0; b < 32; b += 8) {
+      mix_byte(static_cast<unsigned char>(
+          (static_cast<uint32_t>(label) >> b) & 0xff));
+    }
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(objective));
+  std::memcpy(&bits, &objective, sizeof(bits));
+  for (int b = 0; b < 64; b += 8) {
+    mix_byte(static_cast<unsigned char>((bits >> b) & 0xff));
+  }
+  return h;
 }
 
 /// FNV-1a over every moment byte of a view (mean, mu2, var row by row): a
@@ -47,6 +85,57 @@ inline uint64_t MomentFingerprint(const uncertain::MomentView& view) {
     mix(view.variance(i));
   }
   return h;
+}
+
+/// One ISA path's ED^ tile throughput — the compact kernel_throughput axis
+/// the macro benches (fig4) embed so archived JSONs tie algorithm-level
+/// runtimes to the machine's kernel-level ceiling.
+struct KernelThroughputRow {
+  std::string isa;
+  double ed2_evals_per_s = 0.0;
+  double ed2_gb_per_s = 0.0;
+};
+
+/// Measures the closed-form ED^ tile kernel (tile_rows x n evaluations of
+/// dimension m, FillRowTile's access shape) per compiled-and-supported ISA
+/// path. Runs each path for at least min_ms of wall time. Deterministic
+/// inputs; does not disturb the process-global dispatch state. The full
+/// per-primitive microbench is bench_kernel_throughput.
+inline std::vector<KernelThroughputRow> MeasureEd2TileThroughput(
+    std::size_t m, std::size_t tile_rows, std::size_t n, double min_ms,
+    uint64_t seed) {
+  namespace simd = clustering::simd;
+  common::Rng rng(seed);
+  std::vector<double> means(n * m), total_var(n);
+  for (double& v : means) v = rng.Uniform(-10.0, 10.0);
+  for (double& v : total_var) v = rng.Uniform(0.0, 4.0 * m);
+  std::vector<double> tile(tile_rows * n);
+  std::vector<KernelThroughputRow> rows;
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    const simd::KernelTable* table = simd::TableFor(isa);
+    if (table == nullptr) continue;
+    std::size_t evals = 0;
+    common::Stopwatch sw;
+    do {
+      for (std::size_t r = 0; r < tile_rows; ++r) {
+        double* out = tile.data() + r * n;
+        const double* mean_r = means.data() + r * m;
+        for (std::size_t j = 0; j < n; ++j) {
+          out[j] = table->ed2(mean_r, means.data() + j * m, m, total_var[r],
+                              total_var[j]);
+        }
+      }
+      evals += tile_rows * n;
+    } while (sw.ElapsedMs() < min_ms);
+    KernelThroughputRow row;
+    row.isa = simd::IsaName(isa);
+    row.ed2_evals_per_s = static_cast<double>(evals) / sw.ElapsedSeconds();
+    row.ed2_gb_per_s = row.ed2_evals_per_s * (2.0 * static_cast<double>(m)) *
+                       sizeof(double) / 1e9;
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace uclust::bench

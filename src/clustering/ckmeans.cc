@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "clustering/kernels.h"
+#include "clustering/simd/simd.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -59,20 +60,12 @@ struct ScanResult {
 inline ScanResult ScanCenters(std::span<const double> mean,
                               std::span<const double> centroids, int k,
                               std::size_t m, int reuse_c, double reuse_d2) {
+  // Dispatched reduced-moment sweep kernel (clustering/simd/): same
+  // ascending-c strict-< decision sequence and runner-up tracking this
+  // function implemented inline before, now vectorized per distance.
   ScanResult r;
-  for (int c = 0; c < k; ++c) {
-    const double d =
-        c == reuse_c ? reuse_d2
-                     : common::SquaredDistance(mean, CentroidAt(centroids,
-                                                                c, m));
-    if (d < r.best_d2) {
-      r.second_d2 = r.best_d2;
-      r.best_d2 = d;
-      r.best = c;
-    } else if (d < r.second_d2) {
-      r.second_d2 = d;
-    }
-  }
+  simd::NearestTwo(mean.data(), centroids.data(), k, m, reuse_c, reuse_d2,
+                   &r.best, &r.best_d2, &r.second_d2);
   return r;
 }
 
@@ -266,7 +259,7 @@ void AccumulateSumsBatch(const engine::Engine& eng,
     const auto mean = view.mean(i - base);
     double* dst =
         sums->data() + static_cast<std::size_t>(labels[i]) * m;
-    for (std::size_t j = 0; j < m; ++j) dst[j] += mean[j];
+    simd::VectorAdd(dst, mean.data(), m);
     ++(*counts)[labels[i]];
   };
   if (full_bound > first_full) {

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "clustering/simd/simd.h"
+
 namespace uclust::clustering::kernels {
 
 namespace {
@@ -13,24 +15,20 @@ namespace {
 // integers), so the block partition never affects the values produced.
 std::size_t TriangularRowBlock(const engine::Engine& eng, std::size_t n) {
   const std::size_t lanes = static_cast<std::size_t>(eng.num_threads());
-  const std::size_t block = n / (lanes * 8) + 1;
-  return block < eng.block_size() ? block : eng.block_size();
+  return engine::ClampBlock(eng, n / (lanes * 8) + 1);
 }
 
 }  // namespace
 
 int NearestCentroid(std::span<const double> point,
                     std::span<const double> centroids, int k, std::size_t m) {
+  // Dispatched center scan (same ascending-c strict-< decision sequence);
+  // the runner-up distance the kernel also tracks is unused here.
   int best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (int c = 0; c < k; ++c) {
-    const double d = common::SquaredDistance(
-        point, centroids.subspan(static_cast<std::size_t>(c) * m, m));
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
+  double best_d2 = 0.0;
+  double second_d2 = 0.0;
+  simd::NearestTwo(point.data(), centroids.data(), k, m, /*reuse_c=*/-1,
+                   /*reuse_d2=*/0.0, &best, &best_d2, &second_d2);
   return best;
 }
 
@@ -76,7 +74,7 @@ void SumMeansByLabel(const engine::Engine& eng,
           const auto mean = mm.mean(i);
           double* dst =
               p.sums.data() + static_cast<std::size_t>(labels[i]) * m;
-          for (std::size_t j = 0; j < m; ++j) dst[j] += mean[j];
+          simd::VectorAdd(dst, mean.data(), m);
           ++p.counts[labels[i]];
         }
         return p;
@@ -146,10 +144,8 @@ int64_t FillRowTile(const engine::Engine& eng, const PairwiseKernel& kernel,
   const std::size_t rows = row_end - row_begin;
   // Rows cost uniformly n - 1 evaluations, so the plain linear partition
   // balances; many small blocks still help when the tile is shallow.
-  const std::size_t block =
-      std::min<std::size_t>(eng.block_size(),
-                            rows / (static_cast<std::size_t>(
-                                        eng.num_threads()) * 4) + 1);
+  const std::size_t block = engine::ClampBlock(
+      eng, rows / (static_cast<std::size_t>(eng.num_threads()) * 4) + 1);
   const std::vector<int64_t> evals_per_block =
       engine::MapBlocksBlocked<int64_t>(
           eng, rows, block, [&](const engine::BlockedRange& r) {
@@ -217,10 +213,8 @@ int64_t FillGatherTile(const engine::Engine& eng, const PairwiseKernel& kernel,
   const std::size_t n = kernel.size();
   const std::size_t count = rows.size();
   // Requested rows cost uniformly n - 1 evaluations, like FillRowTile.
-  const std::size_t block =
-      std::min<std::size_t>(eng.block_size(),
-                            count / (static_cast<std::size_t>(
-                                         eng.num_threads()) * 4) + 1);
+  const std::size_t block = engine::ClampBlock(
+      eng, count / (static_cast<std::size_t>(eng.num_threads()) * 4) + 1);
   const std::vector<int64_t> evals_per_block =
       engine::MapBlocksBlocked<int64_t>(
           eng, count, block, [&](const engine::BlockedRange& r) {
@@ -285,10 +279,8 @@ int64_t FillBlockRows(const engine::Engine& eng, const PairwiseKernel& kernel,
   const std::size_t s = ids.size();
   const std::size_t count = row_slots.size();
   // Listed rows cost uniformly |ids| - 1 evaluations, like FillRowTile.
-  const std::size_t block =
-      std::min<std::size_t>(eng.block_size(),
-                            count / (static_cast<std::size_t>(
-                                         eng.num_threads()) * 4) + 1);
+  const std::size_t block = engine::ClampBlock(
+      eng, count / (static_cast<std::size_t>(eng.num_threads()) * 4) + 1);
   const std::vector<int64_t> evals_per_block =
       engine::MapBlocksBlocked<int64_t>(
           eng, count, block, [&](const engine::BlockedRange& r) {

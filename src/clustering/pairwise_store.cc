@@ -21,8 +21,7 @@ constexpr std::size_t kDefaultWarmBytes = std::size_t{1} << 20;  // 1 MiB
 // row-indexed output, so the partition never affects results.
 std::size_t VisitRowBlock(const engine::Engine& eng, std::size_t rows) {
   const std::size_t lanes = static_cast<std::size_t>(eng.num_threads());
-  const std::size_t block = rows / (lanes * 4) + 1;
-  return std::min(block, eng.block_size());
+  return engine::ClampBlock(eng, rows / (lanes * 4) + 1);
 }
 
 }  // namespace

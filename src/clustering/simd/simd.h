@@ -1,0 +1,152 @@
+// SIMD kernel layer: compile-time multi-versioned, runtime-dispatched
+// inner-loop primitives for the dense arithmetic sweeps of the clustering
+// stack (closed-form ED^ accumulation, moment-column packing, CK-means
+// center-distance scans, per-cluster sum accumulators).
+//
+// Bit-exactness contract. Every primitive produces BIT-IDENTICAL doubles on
+// every ISA path (scalar reference, AVX2, NEON). The mechanism is a
+// fixed-width lane-blocked accumulation order: reductions always run over
+// kLanes = 16 independent lane accumulators (lane l owns elements l, l+16,
+// l+32, ...; the tail element `full + t` lands in lane t) and the lanes are
+// folded in one fixed tree (FoldLanes in simd_lanes.h). AVX2 implements the
+// 16-lane block as four 4-wide registers, NEON as eight 2-wide registers,
+// and the scalar reference as sixteen plain accumulators — the same
+// additions in the same order, so the rounding is the same everywhere. The
+// width is 16 (not one hardware register) so the vector paths run several
+// independent add chains: one 4-lane accumulator would pin AVX2 to the
+// same elements-per-FP-add-latency ceiling the multi-chain scalar code
+// reaches, hiding the vector units entirely. Fused multiply-add is
+// deliberately never used (its single rounding would diverge from the
+// mul-then-add paths), and the simd TUs are compiled with -ffp-contract=off
+// so a compiler cannot introduce it behind our back. This is the same
+// block-grid-aligned carry discipline the engine uses for thread-count and
+// mini-batch independence, reapplied to lane width.
+//
+// Dispatch. A process-global table pointer selects the active path: the
+// best compiled-and-supported ISA by default (cpuid on x86, __aarch64__ for
+// NEON), overridable via ForceIsa / EngineConfig::simd_isa / --simd_isa.
+// Because every path produces identical bits, switching the active table
+// mid-process changes throughput, never values. Tests that want a specific
+// path without touching the global can call TableFor(isa) directly.
+//
+// Layering: this header is a dependency leaf (stdlib only), so the lowest
+// layers (common/math_utils, uncertain/moments) can route their hot loops
+// through it without inverting the include graph.
+#ifndef UCLUST_CLUSTERING_SIMD_SIMD_H_
+#define UCLUST_CLUSTERING_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <string>
+
+namespace uclust::clustering::simd {
+
+/// Fixed accumulation width of the lane-blocked contract. Independent of
+/// the hardware vector width: AVX2 packs four 4-lane registers, NEON eight
+/// 2-lane registers, a scalar build sixteen plain accumulators. Changing
+/// this changes rounding on every path at once (it can never diverge a
+/// single path).
+inline constexpr std::size_t kLanes = 16;
+
+/// Instruction-set paths. kAuto is a request (resolve to the best compiled
+/// and hardware-supported path), never an active state.
+enum class Isa { kScalar = 0, kAvx2 = 1, kNeon = 2, kAuto = 3 };
+
+/// One ISA path's implementations of the inner-loop primitives. All
+/// functions follow the lane-blocked accumulation order above, so any two
+/// tables produce bit-identical outputs for the same inputs.
+struct KernelTable {
+  /// sum_j (a[j] - b[j])^2 over j in [0, m).
+  double (*squared_distance)(const double* a, const double* b, std::size_t m);
+  /// sum_j v[j] over j in [0, n).
+  double (*sum)(const double* v, std::size_t n);
+  /// Closed-form ED^ (Lemma 3): (||mu_lo - mu_hi||^2 + tv_lo) + tv_hi.
+  /// The tv fold order matches the historical ExpectedSquaredDistance.
+  double (*ed2)(const double* mean_lo, const double* mean_hi, std::size_t m,
+                double tv_lo, double tv_hi);
+  /// dst[j] += src[j] for j in [0, n) — the per-cluster sum accumulator.
+  /// Element-wise, so it is bit-identical across ISAs trivially.
+  void (*vector_add)(double* dst, const double* src, std::size_t n);
+  /// The canonical moment-row packing: copies the three length-m columns
+  /// and writes total_var = lane-blocked sum of var (MomentMatrix::PackRow).
+  void (*pack_row)(const double* mean, const double* mu2, const double* var,
+                   std::size_t m, double* mean_dst, double* mu2_dst,
+                   double* var_dst, double* total_var_dst);
+  /// Best / runner-up center scan of one point over a flat k x m centroid
+  /// array — the CK-means reduced-moment sweep. Ascending c, strict <, ties
+  /// to the lower index (the kernels::NearestCentroid comparison order).
+  /// reuse_c >= 0 substitutes reuse_d2 for that center's distance without
+  /// changing the decision sequence.
+  void (*nearest_two)(const double* point, const double* centroids, int k,
+                      std::size_t m, int reuse_c, double reuse_d2, int* best,
+                      double* best_d2, double* second_d2);
+};
+
+/// Table of a specific path, or nullptr when that path is not compiled in
+/// or the running CPU cannot execute it. TableFor(Isa::kAuto) resolves to
+/// the best available path and is never nullptr (scalar always exists).
+const KernelTable* TableFor(Isa isa);
+
+/// Best compiled-and-supported path on this machine (cpuid probe on x86).
+Isa DetectBestIsa();
+
+/// Forces the active dispatch path. kAuto re-resolves to DetectBestIsa().
+/// Returns false (leaving the active path unchanged) when the requested
+/// path is unavailable. Process-global: the last call wins, which is safe
+/// precisely because all paths are bit-identical — concurrent kernels see
+/// either table and produce the same values.
+bool ForceIsa(Isa isa);
+
+/// The currently active path (resolves lazily to DetectBestIsa()).
+Isa ActiveIsa();
+
+/// The active table (never null; lazily initialized, lock-free).
+const KernelTable& Active();
+
+/// "scalar" / "avx2" / "neon" / "auto".
+std::string IsaName(Isa isa);
+
+/// Parses IsaName spellings; returns false (and leaves *isa untouched) on
+/// unknown input.
+bool IsaFromString(const std::string& name, Isa* isa);
+
+// ---- dispatched conveniences (the hot-path entry points) ------------------
+
+inline double SquaredDistance(const double* a, const double* b,
+                              std::size_t m) {
+  return Active().squared_distance(a, b, m);
+}
+
+inline double Sum(const double* v, std::size_t n) { return Active().sum(v, n); }
+
+inline double Ed2(const double* mean_lo, const double* mean_hi, std::size_t m,
+                  double tv_lo, double tv_hi) {
+  return Active().ed2(mean_lo, mean_hi, m, tv_lo, tv_hi);
+}
+
+inline void VectorAdd(double* dst, const double* src, std::size_t n) {
+  Active().vector_add(dst, src, n);
+}
+
+inline void PackRow(const double* mean, const double* mu2, const double* var,
+                    std::size_t m, double* mean_dst, double* mu2_dst,
+                    double* var_dst, double* total_var_dst) {
+  Active().pack_row(mean, mu2, var, m, mean_dst, mu2_dst, var_dst,
+                    total_var_dst);
+}
+
+inline void NearestTwo(const double* point, const double* centroids, int k,
+                       std::size_t m, int reuse_c, double reuse_d2, int* best,
+                       double* best_d2, double* second_d2) {
+  Active().nearest_two(point, centroids, k, m, reuse_c, reuse_d2, best,
+                       best_d2, second_d2);
+}
+
+// Per-ISA table factories (defined in their own TUs so target-specific
+// compile flags stay contained). Return nullptr when not compiled in.
+const KernelTable* ScalarTable();
+const KernelTable* Avx2Table();
+const KernelTable* NeonTable();
+
+}  // namespace uclust::clustering::simd
+
+#endif  // UCLUST_CLUSTERING_SIMD_SIMD_H_

@@ -1,0 +1,69 @@
+// NEON path (aarch64): the 16-lane block is eight 2-wide float64x2_t
+// registers (register q holds lanes 2q, 2q+1), giving eight independent
+// vector add chains. Each lane still accumulates the same elements in the
+// same order as the scalar reference and AVX2, and the final fold in
+// FoldLanes is shared, so the bits match. NEON is baseline on aarch64 — no
+// runtime cpuid gate needed, just the compile-time guard. vmulq_f64 +
+// vaddq_f64 are kept unfused for the same reason as AVX2.
+#include "clustering/simd/simd_lanes.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace uclust::clustering::simd {
+
+namespace {
+
+struct NeonOps {
+  static constexpr int kRegs = static_cast<int>(kLanes / 2);
+  struct V {
+    float64x2_t r[kRegs];  // r[q] holds lanes 2q, 2q+1
+  };
+  static V Zero() {
+    V v;
+    for (int q = 0; q < kRegs; ++q) v.r[q] = vdupq_n_f64(0.0);
+    return v;
+  }
+  static V Load(const double* p) {
+    V v;
+    for (int q = 0; q < kRegs; ++q) v.r[q] = vld1q_f64(p + 2 * q);
+    return v;
+  }
+  static V Sub(const V& a, const V& b) {
+    V v;
+    for (int q = 0; q < kRegs; ++q) v.r[q] = vsubq_f64(a.r[q], b.r[q]);
+    return v;
+  }
+  static V Mul(const V& a, const V& b) {
+    V v;
+    for (int q = 0; q < kRegs; ++q) v.r[q] = vmulq_f64(a.r[q], b.r[q]);
+    return v;
+  }
+  static V Add(const V& a, const V& b) {
+    V v;
+    for (int q = 0; q < kRegs; ++q) v.r[q] = vaddq_f64(a.r[q], b.r[q]);
+    return v;
+  }
+  static void Store(double* p, const V& a) {
+    for (int q = 0; q < kRegs; ++q) vst1q_f64(p + 2 * q, a.r[q]);
+  }
+};
+
+const KernelTable kTable = MakeTable<NeonOps>();
+
+}  // namespace
+
+const KernelTable* NeonTable() { return &kTable; }
+
+}  // namespace uclust::clustering::simd
+
+#else  // !defined(__aarch64__)
+
+namespace uclust::clustering::simd {
+
+const KernelTable* NeonTable() { return nullptr; }
+
+}  // namespace uclust::clustering::simd
+
+#endif

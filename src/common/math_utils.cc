@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+// The simd layer is a dependency leaf (stdlib-only header), so the lowest
+// common layer may route its reductions through it without a cycle.
+#include "clustering/simd/simd.h"
+
 namespace uclust::common {
 
 namespace {
@@ -14,14 +18,13 @@ double NormalPdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
 
 double NormalCdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
 
+// SquaredDistance and Sum dispatch to the SIMD kernel layer. All ISA paths
+// use the same lane-blocked accumulation order (see clustering/simd/simd.h),
+// so the values are identical whichever path the dispatcher picks.
+
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return clustering::simd::SquaredDistance(a.data(), b.data(), a.size());
 }
 
 double Distance(std::span<const double> a, std::span<const double> b) {
@@ -29,9 +32,7 @@ double Distance(std::span<const double> a, std::span<const double> b) {
 }
 
 double Sum(std::span<const double> v) {
-  double acc = 0.0;
-  for (double x : v) acc += x;
-  return acc;
+  return clustering::simd::Sum(v.data(), v.size());
 }
 
 double Mean(std::span<const double> v) {

@@ -1,11 +1,43 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
+#include "clustering/simd/simd.h"
 #include "common/cli.h"
 
 namespace uclust::engine {
+
+namespace {
+
+// Applies EngineConfig::simd_isa to the process-global kernel dispatcher.
+// Unknown or unavailable requests fall back to auto (with a stderr warning)
+// rather than failing construction: the fallback is value-identical, only
+// slower/faster.
+void ApplySimdIsa(const std::string& name) {
+  clustering::simd::Isa isa;
+  if (!clustering::simd::IsaFromString(name, &isa)) {
+    std::fprintf(stderr,
+                 "engine: unknown simd_isa '%s', using auto (%s)\n",
+                 name.c_str(),
+                 clustering::simd::IsaName(
+                     clustering::simd::DetectBestIsa()).c_str());
+    clustering::simd::ForceIsa(clustering::simd::Isa::kAuto);
+    return;
+  }
+  if (!clustering::simd::ForceIsa(isa)) {
+    std::fprintf(stderr,
+                 "engine: simd_isa '%s' not available on this "
+                 "build/cpu, using auto (%s)\n",
+                 name.c_str(),
+                 clustering::simd::IsaName(
+                     clustering::simd::DetectBestIsa()).c_str());
+    clustering::simd::ForceIsa(clustering::simd::Isa::kAuto);
+  }
+}
+
+}  // namespace
 
 Engine::Engine(const EngineConfig& config) {
   block_size_ = std::max<std::size_t>(config.block_size, 1);
@@ -17,6 +49,7 @@ Engine::Engine(const EngineConfig& config) {
   ukmeans_ckmeans_reduction_ = config.ukmeans_ckmeans_reduction;
   ukmeans_bound_pruning_ = config.ukmeans_bound_pruning;
   ukmeans_minibatch_size_ = config.ukmeans_minibatch_size;
+  ApplySimdIsa(config.simd_isa);
   int threads = config.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -28,6 +61,10 @@ Engine::Engine(const EngineConfig& config) {
 const Engine& Engine::Serial() {
   static const Engine* serial = new Engine();
   return *serial;
+}
+
+std::string Engine::simd_isa() const {
+  return clustering::simd::IsaName(clustering::simd::ActiveIsa());
 }
 
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
@@ -52,6 +89,7 @@ EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
   config.ukmeans_bound_pruning = args.GetBool("ukmeans_bound_pruning", true);
   config.ukmeans_minibatch_size =
       static_cast<std::size_t>(args.GetInt("ukmeans_minibatch_size", 0));
+  config.simd_isa = args.GetString("simd_isa", "auto");
   return config;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "engine/thread_pool.h"
 
@@ -87,6 +88,15 @@ struct EngineConfig {
   /// value forces the epoch-streaming driver with that batch size. Pure
   /// memory knob: results are bit-identical for every value.
   std::size_t ukmeans_minibatch_size = 0;
+  /// SIMD instruction-set path for the inner-loop kernels
+  /// (clustering/simd/): "auto" (best compiled-and-supported path — AVX2 on
+  /// capable x86, NEON on aarch64, else scalar), or "scalar"/"avx2"/"neon"
+  /// to force one. The selection is process-global (the kernels dispatch
+  /// through one table; the last Engine constructed wins) and is a pure
+  /// throughput knob: every path uses the same lane-blocked accumulation
+  /// order, so results are bit-identical whichever path runs. Forcing an
+  /// unavailable path falls back to auto with a warning on stderr.
+  std::string simd_isa = "auto";
 };
 
 /// Copyable handle bundling an EngineConfig with a (shared) thread pool.
@@ -126,6 +136,10 @@ class Engine {
   std::size_t ukmeans_minibatch_size() const {
     return ukmeans_minibatch_size_;
   }
+  /// The SIMD path this engine resolved at construction ("scalar"/"avx2"/
+  /// "neon" — never "auto"; the default-constructed serial engine reports
+  /// whatever the process-global dispatcher currently runs).
+  std::string simd_isa() const;
   /// The pool, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
@@ -149,8 +163,9 @@ class Engine {
 /// `--pairwise_gather_tiles=0/1`, `--pairwise_warm_rows=0/1`,
 /// `--pairwise_pruned_sweeps=0/1` (all default 1), and the UK-means
 /// fast-path knobs `--ukmeans_ckmeans_reduction=0/1`,
-/// `--ukmeans_bound_pruning=0/1` (default 1), and
-/// `--ukmeans_minibatch_size=N` (0 = auto) from parsed flags.
+/// `--ukmeans_bound_pruning=0/1` (default 1),
+/// `--ukmeans_minibatch_size=N` (0 = auto), and
+/// `--simd_isa=auto|scalar|avx2|neon` from parsed flags.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

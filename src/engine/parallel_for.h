@@ -28,6 +28,15 @@ inline std::size_t NumBlocks(std::size_t n, std::size_t block_size) {
   return block_size == 0 ? 0 : (n + block_size - 1) / block_size;
 }
 
+/// Clamps a workload-derived block size into [1, eng.block_size()] — the
+/// single rule for every kernel that shrinks its blocks for load balance
+/// (triangular row skew, shallow tiles) but must never exceed the engine's
+/// configured determinism grid.
+inline std::size_t ClampBlock(const Engine& eng, std::size_t block) {
+  if (block < 1) return 1;
+  return block < eng.block_size() ? block : eng.block_size();
+}
+
 /// Runs fn(BlockedRange) over every block of [0, n). Blocks run concurrently
 /// on the engine's pool (inline, in order, when the engine is serial or the
 /// range fits in one block). fn must not touch data of other blocks except

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "clustering/simd/simd.h"
 #include "common/math_utils.h"
 
 namespace uclust::uncertain {
@@ -15,8 +16,10 @@ double ExpectedSquaredDistanceToPoint(const UncertainObject& o,
 double ExpectedSquaredDistance(const UncertainObject& a,
                                const UncertainObject& b) {
   assert(a.dims() == b.dims());
-  return common::SquaredDistance(a.mean(), b.mean()) + a.total_variance() +
-         b.total_variance();
+  // Dispatched closed-form ED^ kernel; the (sqdist + tv_a) + tv_b fold
+  // order inside matches this function's historical expression.
+  return clustering::simd::Ed2(a.mean().data(), b.mean().data(), a.dims(),
+                               a.total_variance(), b.total_variance());
 }
 
 double SampledExpectedSquaredDistanceToPoint(const UncertainObject& o,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "clustering/simd/simd.h"
+
 namespace uclust::uncertain {
 
 MomentChunkSource::~MomentChunkSource() = default;
@@ -47,12 +49,12 @@ void MomentMatrix::PackRow(std::span<const double> mean,
                            double* total_var_dst) {
   const std::size_t m = mean.size();
   assert(mu2.size() == m && var.size() == m);
-  std::copy(mean.begin(), mean.end(), mean_dst);
-  std::copy(mu2.begin(), mu2.end(), mu2_dst);
-  std::copy(var.begin(), var.end(), var_dst);
-  double tv = 0.0;
-  for (std::size_t j = 0; j < m; ++j) tv += var[j];
-  *total_var_dst = tv;
+  // Dispatched packing kernel: copies the three columns and writes
+  // total_var as the lane-blocked sum of var — the same summation order
+  // UncertainObject uses, keeping object-based and moment-based total
+  // variance bit-coherent.
+  clustering::simd::PackRow(mean.data(), mu2.data(), var.data(), m, mean_dst,
+                            mu2_dst, var_dst, total_var_dst);
 }
 
 void MomentMatrix::AppendRow(std::span<const double> mean,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "clustering/simd/simd.h"
 #include "uncertain/dirac_pdf.h"
 
 namespace uclust::uncertain {
@@ -19,10 +20,13 @@ UncertainObject::UncertainObject(std::vector<PdfPtr> dims)
     mean_[j] = pdfs_[j]->mean();
     second_moment_[j] = pdfs_[j]->second_moment();
     variance_[j] = pdfs_[j]->variance();
-    total_variance_ += variance_[j];
     lo[j] = pdfs_[j]->lower();
     hi[j] = pdfs_[j]->upper();
   }
+  // Lane-blocked sum, the same order MomentMatrix::PackRow uses — so the
+  // object-based ExpectedSquaredDistance and the moment-based objectives
+  // see bit-identical total variances.
+  total_variance_ = clustering::simd::Sum(variance_.data(), m);
   region_ = Box(std::move(lo), std::move(hi));
 }
 

@@ -15,6 +15,7 @@
 #include "clustering/ckmeans.h"
 #include "clustering/mmvar.h"
 #include "clustering/registry.h"
+#include "clustering/simd/simd.h"
 #include "clustering/ucpc.h"
 #include "clustering/ukmeans.h"
 #include "data/benchmark_gen.h"
@@ -102,6 +103,52 @@ TEST(ParallelDeterminism, CkmeansKnobSweepBitIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+// The SIMD dispatch path is a second "parallelism" axis with the same
+// contract as the thread count: every compiled-and-supported simd_isa,
+// at every thread count, must reproduce the serial forced-scalar
+// clustering bit-for-bit — labels, objective, iterations, and the
+// pruning counters (which are a pure function of the identical
+// distances). This is the lane-blocked accumulation guarantee of
+// src/clustering/simd surfacing at the EngineConfig level.
+TEST(ParallelDeterminism, SimdIsaSweepBitIdenticalAcrossThreadCounts) {
+  namespace simd = clustering::simd;
+  std::vector<std::string> isas;
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::TableFor(isa) != nullptr) isas.push_back(simd::IsaName(isa));
+  }
+  const auto ds = TestDataset(700, 4, 5, 31);
+  const auto with = [&](const std::string& isa, int threads) {
+    engine::EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 128;
+    config.simd_isa = isa;
+    return engine::Engine(config);
+  };
+  CkMeans::Params p;
+  p.reduction = true;
+  p.bound_pruning = true;
+  const auto baseline =
+      CkMeans::RunOnMoments(ds.moments(), 5, 7, p, with("scalar", 1));
+  for (const std::string& isa : isas) {
+    for (int threads : kThreadCounts) {
+      const auto out =
+          CkMeans::RunOnMoments(ds.moments(), 5, 7, p, with(isa, threads));
+      EXPECT_EQ(out.labels, baseline.labels)
+          << "isa=" << isa << " threads=" << threads;
+      EXPECT_EQ(out.objective, baseline.objective)
+          << "isa=" << isa << " threads=" << threads;
+      EXPECT_EQ(out.iterations, baseline.iterations)
+          << "isa=" << isa << " threads=" << threads;
+      EXPECT_EQ(out.center_distance_evals, baseline.center_distance_evals)
+          << "isa=" << isa << " threads=" << threads;
+      EXPECT_EQ(out.bounds_skipped, baseline.bounds_skipped)
+          << "isa=" << isa << " threads=" << threads;
+    }
+  }
+  simd::ForceIsa(simd::Isa::kAuto);  // leave the process on auto dispatch
 }
 
 TEST(ParallelDeterminism, UcpcBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,396 @@
+// Dispatch parity of the SIMD kernel layer: every compiled-and-supported
+// ISA path (scalar reference, AVX2, NEON) must produce BIT-IDENTICAL
+// doubles for every primitive, on every input shape — full lane groups,
+// remainder lanes, all-tail rows shorter than one lane block — and the
+// parity must survive all the way up through the tile producers, the
+// chunked MomentView plumbing, and the CK-means reduced-moment sweep.
+// This is the contract (simd.h) that makes --simd_isa a pure throughput
+// knob: forcing a path can change speed, never values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "clustering/ckmeans.h"
+#include "clustering/kernels.h"
+#include "clustering/simd/simd.h"
+#include "clustering/ukmeans.h"
+#include "common/rng.h"
+#include "data/benchmark_gen.h"
+#include "data/uncertainty_model.h"
+#include "engine/engine.h"
+#include "uncertain/moments.h"
+
+namespace uclust::clustering::simd {
+namespace {
+
+// Every dimensionality class the lane-blocked order distinguishes:
+// all-tail (m < 16), exact groups (16, 32, 64), and group + remainder.
+constexpr std::size_t kDims[] = {1,  2,  3,  4,  5,  6,  7,  8, 9,
+                                 15, 16, 17, 31, 32, 33, 64, 100};
+
+std::vector<Isa> AvailableIsas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon}) {
+    if (TableFor(isa) != nullptr) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// Restores auto dispatch no matter how a ForceIsa-using test exits.
+struct IsaGuard {
+  ~IsaGuard() { ForceIsa(Isa::kAuto); }
+};
+
+std::vector<double> RandomVector(std::size_t n, common::Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-3.0, 3.0);
+  return v;
+}
+
+// Bitwise comparison: parity means identical bits, not just ==, so that
+// signed zeros and every last ulp are pinned.
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " differ in bits";
+}
+
+TEST(SimdKernels, ScalarTableAlwaysAvailable) {
+  ASSERT_NE(TableFor(Isa::kScalar), nullptr);
+  ASSERT_NE(TableFor(Isa::kAuto), nullptr);
+  const Isa best = DetectBestIsa();
+  EXPECT_NE(TableFor(best), nullptr);
+  EXPECT_EQ(TableFor(Isa::kAuto), TableFor(best));
+}
+
+TEST(SimdKernels, IsaNamesRoundTrip) {
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon, Isa::kAuto}) {
+    Isa parsed = Isa::kAuto;
+    ASSERT_TRUE(IsaFromString(IsaName(isa), &parsed)) << IsaName(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa parsed = Isa::kScalar;
+  EXPECT_FALSE(IsaFromString("sse9", &parsed));
+  EXPECT_EQ(parsed, Isa::kScalar);  // untouched on failure
+}
+
+TEST(SimdKernels, ReductionPrimitivesBitIdenticalAcrossIsas) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  common::Rng rng(0x51D0);
+  for (const std::size_t m : kDims) {
+    const std::vector<double> a = RandomVector(m, &rng);
+    const std::vector<double> b = RandomVector(m, &rng);
+    const double want_d2 = ref->squared_distance(a.data(), b.data(), m);
+    const double want_sum = ref->sum(a.data(), m);
+    const double want_ed2 = ref->ed2(a.data(), b.data(), m, 0.25, 1.75);
+    for (Isa isa : AvailableIsas()) {
+      const KernelTable* t = TableFor(isa);
+      EXPECT_TRUE(
+          BitsEqual(want_d2, t->squared_distance(a.data(), b.data(), m)))
+          << "squared_distance m=" << m << " isa=" << IsaName(isa);
+      EXPECT_TRUE(BitsEqual(want_sum, t->sum(a.data(), m)))
+          << "sum m=" << m << " isa=" << IsaName(isa);
+      EXPECT_TRUE(BitsEqual(want_ed2, t->ed2(a.data(), b.data(), m, 0.25,
+                                             1.75)))
+          << "ed2 m=" << m << " isa=" << IsaName(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, VectorAddAndPackRowBitIdenticalAcrossIsas) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  common::Rng rng(0x51D1);
+  for (const std::size_t m : kDims) {
+    const std::vector<double> base = RandomVector(m, &rng);
+    const std::vector<double> src = RandomVector(m, &rng);
+    const std::vector<double> mu2 = RandomVector(m, &rng);
+    std::vector<double> var = RandomVector(m, &rng);
+    for (double& v : var) v = std::abs(v);
+
+    std::vector<double> want_add = base;
+    ref->vector_add(want_add.data(), src.data(), m);
+    std::vector<double> want_mean(m), want_mu2(m), want_var(m);
+    double want_tv = 0.0;
+    ref->pack_row(base.data(), mu2.data(), var.data(), m, want_mean.data(),
+                  want_mu2.data(), want_var.data(), &want_tv);
+
+    for (Isa isa : AvailableIsas()) {
+      const KernelTable* t = TableFor(isa);
+      std::vector<double> add = base;
+      t->vector_add(add.data(), src.data(), m);
+      EXPECT_EQ(0, std::memcmp(add.data(), want_add.data(),
+                               m * sizeof(double)))
+          << "vector_add m=" << m << " isa=" << IsaName(isa);
+
+      std::vector<double> pm(m), p2(m), pv(m);
+      double tv = 0.0;
+      t->pack_row(base.data(), mu2.data(), var.data(), m, pm.data(), p2.data(),
+                  pv.data(), &tv);
+      EXPECT_EQ(0, std::memcmp(pm.data(), want_mean.data(),
+                               m * sizeof(double)));
+      EXPECT_EQ(0, std::memcmp(p2.data(), want_mu2.data(),
+                               m * sizeof(double)));
+      EXPECT_EQ(0, std::memcmp(pv.data(), want_var.data(),
+                               m * sizeof(double)));
+      EXPECT_TRUE(BitsEqual(want_tv, tv))
+          << "pack_row total_var m=" << m << " isa=" << IsaName(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, NearestTwoBitIdenticalAcrossIsas) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  common::Rng rng(0x51D2);
+  for (const std::size_t m : {std::size_t{3}, std::size_t{16},
+                              std::size_t{33}}) {
+    for (const int k : {1, 2, 7}) {
+      const std::vector<double> point = RandomVector(m, &rng);
+      const std::vector<double> centroids = RandomVector(k * m, &rng);
+      for (const int reuse_c : {-1, 0, k - 1}) {
+        const double reuse_d2 = rng.Uniform(0.0, 4.0);
+        int want_best = -2;
+        double want_bd = 0.0, want_sd = 0.0;
+        ref->nearest_two(point.data(), centroids.data(), k, m, reuse_c,
+                         reuse_d2, &want_best, &want_bd, &want_sd);
+        for (Isa isa : AvailableIsas()) {
+          int best = -2;
+          double bd = 0.0, sd = 0.0;
+          TableFor(isa)->nearest_two(point.data(), centroids.data(), k, m,
+                                     reuse_c, reuse_d2, &best, &bd, &sd);
+          EXPECT_EQ(want_best, best) << "isa=" << IsaName(isa);
+          EXPECT_TRUE(BitsEqual(want_bd, bd)) << "isa=" << IsaName(isa);
+          EXPECT_TRUE(BitsEqual(want_sd, sd)) << "isa=" << IsaName(isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, NearestTwoMatchesHistoricalScanSemantics) {
+  // k == 1: no runner-up exists, second_d2 is +inf (the value the Hamerly
+  // lower bound consumes as "prune nothing").
+  const std::vector<double> point = {1.0, 2.0};
+  const std::vector<double> one = {0.0, 0.0};
+  int best = -1;
+  double bd = 0.0, sd = 0.0;
+  NearestTwo(point.data(), one.data(), 1, 2, -1, 0.0, &best, &bd, &sd);
+  EXPECT_EQ(best, 0);
+  EXPECT_EQ(bd, 5.0);
+  EXPECT_EQ(sd, std::numeric_limits<double>::infinity());
+
+  // All three centers are at distance 2: the tie breaks toward the lowest
+  // center index.
+  const std::vector<double> tied = {0.0, 3.0, 2.0, 1.0, 2.0, 1.0};
+  NearestTwo(point.data(), tied.data(), 3, 2, -1, 0.0, &best, &bd, &sd);
+  EXPECT_EQ(best, 0);
+  EXPECT_EQ(bd, 2.0);
+  EXPECT_EQ(sd, 2.0);
+
+  // reuse_c substitutes the cached distance without reordering decisions.
+  NearestTwo(point.data(), tied.data(), 3, 2, 2, 0.5, &best, &bd, &sd);
+  EXPECT_EQ(best, 2);
+  EXPECT_EQ(bd, 0.5);
+  EXPECT_EQ(sd, 2.0);
+}
+
+data::UncertainDataset SmallDataset(std::size_t n, std::size_t m, int classes,
+                                    uint64_t seed) {
+  data::MixtureParams params;
+  params.n = n;
+  params.dims = m;
+  params.classes = classes;
+  const data::DeterministicDataset d =
+      data::MakeGaussianMixture(params, seed, "simd");
+  data::UncertaintyParams up;
+  up.family = data::PdfFamily::kNormal;
+  return data::UncertaintyModel(d, up, seed + 1).Uncertain();
+}
+
+// Pairwise tile producers under each forced ISA: the ED^ tiles a
+// PairwiseStore backend materializes must not depend on the dispatch path.
+TEST(SimdKernels, PairwiseTilesBitIdenticalUnderForcedIsas) {
+  IsaGuard guard;
+  const auto ds = SmallDataset(60, 17, 3, 77);  // 17 = one group + tail
+  const auto kernel = kernels::PairwiseKernel::ClosedFormED2(ds.objects());
+  const std::size_t n = ds.size();
+  engine::EngineConfig config;
+  config.num_threads = 2;
+  config.block_size = 16;
+  const engine::Engine eng(config);
+
+  ASSERT_TRUE(ForceIsa(Isa::kScalar));
+  std::vector<double> want_row(8 * n), want_gather(3 * n), want_block(5 * 5);
+  kernels::FillRowTile(eng, kernel, 20, 28, want_row.data());
+  const std::vector<std::size_t> rows = {3, 41, 59};
+  kernels::FillGatherTile(eng, kernel, rows, want_gather.data());
+  const std::vector<std::size_t> ids = {2, 11, 23, 37, 53};
+  const std::vector<std::size_t> missing = {0, 1, 2, 3, 4};
+  kernels::FillSymmetricBlock(eng, kernel, ids, missing, want_block.data());
+
+  for (Isa isa : AvailableIsas()) {
+    ASSERT_TRUE(ForceIsa(isa));
+    std::vector<double> row(8 * n, -1.0), gather(3 * n, -1.0);
+    std::vector<double> block(5 * 5, -1.0);
+    kernels::FillRowTile(eng, kernel, 20, 28, row.data());
+    kernels::FillGatherTile(eng, kernel, rows, gather.data());
+    kernels::FillSymmetricBlock(eng, kernel, ids, missing, block.data());
+    EXPECT_EQ(0, std::memcmp(row.data(), want_row.data(),
+                             row.size() * sizeof(double)))
+        << "row tile isa=" << IsaName(isa);
+    EXPECT_EQ(0, std::memcmp(gather.data(), want_gather.data(),
+                             gather.size() * sizeof(double)))
+        << "gather tile isa=" << IsaName(isa);
+    EXPECT_EQ(0, std::memcmp(block.data(), want_block.data(),
+                             block.size() * sizeof(double)))
+        << "symmetric block isa=" << IsaName(isa);
+  }
+}
+
+// Serves a MomentMatrix's rows through the chunked MomentView interface —
+// the same plumbing the mmap-backed .umom store uses, minus the I/O.
+class FakeChunkSource : public uncertain::MomentChunkSource {
+ public:
+  FakeChunkSource(const uncertain::MomentMatrix& mm, std::size_t chunk_rows)
+      : mm_(mm), chunk_rows_(chunk_rows) {
+    const std::size_t chunks = (mm.size() + chunk_rows - 1) / chunk_rows;
+    tv_chunks_.resize(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (std::size_t r = c * chunk_rows;
+           r < std::min(mm.size(), (c + 1) * chunk_rows); ++r) {
+        tv_chunks_[c].push_back(mm.total_variance(r));
+      }
+    }
+  }
+
+  uncertain::MomentChunkPtrs ChunkData(std::size_t chunk) const override {
+    const std::size_t row = chunk * chunk_rows_;
+    uncertain::MomentChunkPtrs ptrs;
+    ptrs.mean = mm_.mean(row).data();
+    ptrs.mu2 = mm_.second_moment(row).data();
+    ptrs.var = mm_.variance(row).data();
+    ptrs.total_var = tv_chunks_[chunk].data();
+    return ptrs;
+  }
+
+ private:
+  const uncertain::MomentMatrix& mm_;
+  std::size_t chunk_rows_;
+  std::vector<std::vector<double>> tv_chunks_;
+};
+
+// The moment kernels consume chunked views byte-for-byte like flat ones,
+// under every forced ISA: dispatch path x storage shape is a 2D grid of
+// identical results.
+TEST(SimdKernels, ChunkedMomentViewBitIdenticalUnderForcedIsas) {
+  IsaGuard guard;
+  const auto ds = SmallDataset(96, 33, 4, 91);  // 33 = two groups + tail
+  const uncertain::MomentMatrix& mm = ds.moments();
+  const FakeChunkSource source(mm, 8);
+  const uncertain::MomentView chunked(mm.size(), mm.dims(), 8, &source);
+  engine::EngineConfig config;
+  config.num_threads = 2;
+  config.block_size = 16;
+  const engine::Engine eng(config);
+
+  ASSERT_TRUE(ForceIsa(Isa::kScalar));
+  std::vector<double> centroids(4 * mm.dims());
+  for (std::size_t j = 0; j < centroids.size(); ++j) {
+    centroids[j] = mm.mean(j % mm.size())[j % mm.dims()];
+  }
+  std::vector<int> want_labels(mm.size(), -1);
+  kernels::AssignNearest(eng, mm.view(), centroids, 4, want_labels);
+  std::vector<double> want_sums;
+  std::vector<std::size_t> want_counts;
+  kernels::SumMeansByLabel(eng, mm.view(), want_labels, 4, &want_sums,
+                           &want_counts);
+  const double want_obj =
+      kernels::AssignmentObjective(eng, mm.view(), want_labels, centroids);
+
+  for (Isa isa : AvailableIsas()) {
+    ASSERT_TRUE(ForceIsa(isa));
+    for (const bool use_chunked : {false, true}) {
+      const uncertain::MomentView view = use_chunked ? chunked : mm.view();
+      std::vector<int> labels(mm.size(), -1);
+      kernels::AssignNearest(eng, view, centroids, 4, labels);
+      EXPECT_EQ(labels, want_labels)
+          << "isa=" << IsaName(isa) << " chunked=" << use_chunked;
+      std::vector<double> sums;
+      std::vector<std::size_t> counts;
+      kernels::SumMeansByLabel(eng, view, labels, 4, &sums, &counts);
+      EXPECT_EQ(counts, want_counts) << "isa=" << IsaName(isa);
+      ASSERT_EQ(sums.size(), want_sums.size());
+      EXPECT_EQ(0, std::memcmp(sums.data(), want_sums.data(),
+                               sums.size() * sizeof(double)))
+          << "sums isa=" << IsaName(isa) << " chunked=" << use_chunked;
+      const double obj =
+          kernels::AssignmentObjective(eng, view, labels, centroids);
+      EXPECT_TRUE(BitsEqual(want_obj, obj))
+          << "objective isa=" << IsaName(isa) << " chunked=" << use_chunked;
+    }
+  }
+}
+
+// The CK-means reduced-moment sweep (and its bound-pruned variant) routes
+// its center scans through the dispatched nearest_two: forcing any ISA must
+// reproduce the forced-scalar clustering bit-for-bit, including the pruning
+// counters (the pruning decisions are a pure function of the distances).
+TEST(SimdKernels, CkmeansReducedSweepBitIdenticalUnderForcedIsas) {
+  IsaGuard guard;
+  const auto ds = SmallDataset(300, 9, 4, 57);
+  engine::EngineConfig config;
+  config.num_threads = 2;
+  config.block_size = 64;
+  const engine::Engine eng(config);
+
+  for (const bool bounds : {false, true}) {
+    CkMeans::Params p;
+    p.reduction = true;
+    p.bound_pruning = bounds;
+    ASSERT_TRUE(ForceIsa(Isa::kScalar));
+    const auto want = CkMeans::RunOnMoments(ds.moments(), 4, 7, p, eng);
+    for (Isa isa : AvailableIsas()) {
+      ASSERT_TRUE(ForceIsa(isa));
+      const auto out = CkMeans::RunOnMoments(ds.moments(), 4, 7, p, eng);
+      EXPECT_EQ(out.labels, want.labels)
+          << "bounds=" << bounds << " isa=" << IsaName(isa);
+      EXPECT_TRUE(BitsEqual(want.objective, out.objective))
+          << "bounds=" << bounds << " isa=" << IsaName(isa);
+      EXPECT_EQ(out.iterations, want.iterations) << IsaName(isa);
+      EXPECT_EQ(out.center_distance_evals, want.center_distance_evals)
+          << "bounds=" << bounds << " isa=" << IsaName(isa);
+      EXPECT_EQ(out.bounds_skipped, want.bounds_skipped)
+          << "bounds=" << bounds << " isa=" << IsaName(isa);
+    }
+  }
+}
+
+// EngineConfig::simd_isa is the user-facing spelling of ForceIsa: "scalar"
+// pins the reference path, unknown names fall back to auto, and the engine
+// reports the path actually active.
+TEST(SimdKernels, EngineConfigAppliesSimdIsa) {
+  IsaGuard guard;
+  engine::EngineConfig config;
+  config.simd_isa = "scalar";
+  const engine::Engine eng(config);
+  EXPECT_EQ(eng.simd_isa(), "scalar");
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+
+  engine::EngineConfig bad;
+  bad.simd_isa = "sse9";
+  const engine::Engine eng2(bad);
+  EXPECT_EQ(ActiveIsa(), DetectBestIsa());
+  EXPECT_EQ(eng2.simd_isa(), IsaName(DetectBestIsa()));
+}
+
+}  // namespace
+}  // namespace uclust::clustering::simd
