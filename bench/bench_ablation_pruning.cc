@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
 #include "common/cli.h"
 #include "common/csv.h"
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;
   const auto ds = data::UncertaintyModel(source, up, seed + 1).Uncertain();
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  const engine::Engine eng(
+      bench::EngineConfigFromFlagsOrDie(args, "ablation pruning"));
 
   struct Config {
     const char* label;

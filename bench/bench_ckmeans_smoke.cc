@@ -63,7 +63,8 @@ int Run(int argc, char** argv) {
   const int k = static_cast<int>(args.GetInt("k", 8));
   const int max_iters = static_cast<int>(args.GetInt("max_iters", 30));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  const engine::Engine eng(
+      bench::EngineConfigFromFlagsOrDie(args, "ckmeans smoke"));
 
   std::printf("[ckmeans smoke] mode=%s dataset=%s k=%d max_iters=%d\n",
               mode.c_str(), path.c_str(), k, max_iters);

@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
   const std::string json_out =
       args.GetString("json_out", "BENCH_fig4_efficiency.json");
 
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  const engine::Engine eng(
+      bench::EngineConfigFromFlagsOrDie(args, "fig4 efficiency"));
 
   data::UncertaintyParams up;
   up.family = data::PdfFamily::kNormal;

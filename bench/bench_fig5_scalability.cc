@@ -118,7 +118,8 @@ int main(int argc, char** argv) {
   const std::string dataset_path = args.GetString("dataset", "");
   int k = 23;
 
-  const engine::EngineConfig engine_config = engine::EngineConfigFromArgs(args);
+  const engine::EngineConfig engine_config =
+      bench::EngineConfigFromFlagsOrDie(args, "fig5 scalability");
   const engine::Engine eng(engine_config);
   engine::EngineConfig speedup_config = engine_config;
   speedup_config.num_threads =
@@ -257,10 +258,21 @@ int main(int argc, char** argv) {
                                                  fp_run.objective);
     std::printf("\nFIG5 FINGERPRINT=%016llx\n",
                 static_cast<unsigned long long>(fp));
-    char fp_hex[17];
-    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    json.KV("result_fingerprint", fp_hex);
+    json.KV("result_fingerprint", clustering::FingerprintHex(fp));
+    // The same run in the one canonical ClusteringResult serialization the
+    // service's GET /v1/jobs/{id}/result route emits, so an archived fig5
+    // artifact and a service response are directly diffable (the field
+    // order and the embedded fingerprint are pinned by
+    // tests/golden/clustering_result.json).
+    clustering::ClusteringResult canonical;
+    canonical.labels = fp_run.labels;
+    canonical.k_requested = k;
+    canonical.clusters_found = clustering::CountClusters(fp_run.labels);
+    canonical.iterations = fp_run.iterations;
+    canonical.objective = fp_run.objective;
+    canonical.center_distance_evals = fp_run.center_distance_evals;
+    json.Key("result");
+    clustering::AppendResultJson(&json, canonical, /*include_labels=*/false);
   }
 
   // Serial vs parallel on the 100% dataset: the engine's speedup entry that

@@ -54,7 +54,8 @@ int Run(int argc, char** argv) {
   const int k = static_cast<int>(args.GetInt("k", 8));
   const std::size_t batch = static_cast<std::size_t>(args.GetInt("batch", 4096));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  const engine::Engine eng(
+      bench::EngineConfigFromFlagsOrDie(args, "ingest smoke"));
 
   std::printf("[ingest smoke] mode=%s dataset=%s batch=%zu budget=%zu\n",
               mode.c_str(), path.c_str(), batch, eng.memory_budget_bytes());

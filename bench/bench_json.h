@@ -1,110 +1,15 @@
-// Minimal JSON emitter for the bench executables. Benches print their
-// human-readable tables to stdout and additionally persist a BENCH_*.json
-// with the run configuration and per-phase wall times, so the performance
-// trajectory of the repo is machine-trackable across PRs.
+// Back-compat shim: the bench JSON writer moved to src/common/json.h so
+// the service layer and the canonical ClusteringResult serialization
+// (src/clustering/result_json.h) share one emitter. Benches keep spelling
+// it bench::JsonWriter.
 #ifndef UCLUST_BENCH_BENCH_JSON_H_
 #define UCLUST_BENCH_BENCH_JSON_H_
 
-#include <cmath>
-#include <cstdio>
-#include <string>
+#include "common/json.h"
 
 namespace uclust::bench {
 
-/// Incremental writer producing one JSON document. Values are emitted in
-/// call order; the caller is responsible for balanced Begin/End pairs.
-class JsonWriter {
- public:
-  std::string& str() { return out_; }
-
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-
-  /// Starts `"key": ` inside an object; follow with a value call.
-  void Key(const std::string& key) {
-    Comma();
-    out_ += '"';
-    Escape(key);
-    out_ += "\": ";
-    pending_value_ = true;
-  }
-
-  void Value(const std::string& v) {
-    Comma();
-    out_ += '"';
-    Escape(v);
-    out_ += '"';
-  }
-  void Value(const char* v) { Value(std::string(v)); }
-  void Value(double v) {
-    Comma();
-    if (std::isfinite(v)) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6g", v);
-      out_ += buf;
-    } else {
-      out_ += "null";
-    }
-  }
-  void Value(int64_t v) {
-    Comma();
-    out_ += std::to_string(v);
-  }
-  void Value(int v) { Value(static_cast<int64_t>(v)); }
-  void Value(std::size_t v) { Value(static_cast<int64_t>(v)); }
-  void Value(bool v) {
-    Comma();
-    out_ += v ? "true" : "false";
-  }
-
-  /// Convenience: Key + Value.
-  template <typename T>
-  void KV(const std::string& key, const T& v) {
-    Key(key);
-    Value(v);
-  }
-
-  /// Writes the document to `path`; returns false on I/O failure.
-  bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
-    std::fclose(f);
-    return ok;
-  }
-
- private:
-  void Comma() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;
-    }
-    if (need_comma_) out_ += ", ";
-    need_comma_ = true;
-  }
-  void Open(char c) {
-    Comma();
-    out_ += c;
-    need_comma_ = false;
-  }
-  void Close(char c) {
-    out_ += c;
-    need_comma_ = true;
-    pending_value_ = false;
-  }
-  void Escape(const std::string& s) {
-    for (char c : s) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-  }
-
-  std::string out_;
-  bool need_comma_ = false;
-  bool pending_value_ = false;
-};
+using JsonWriter = common::JsonWriter;
 
 }  // namespace uclust::bench
 

@@ -58,7 +58,8 @@ int Run(int argc, char** argv) {
   const std::string mode = args.GetString("mode", "mapped");
   const int k = static_cast<int>(args.GetInt("k", 8));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  const engine::Engine eng(
+      bench::EngineConfigFromFlagsOrDie(args, "moments smoke"));
 
   io::MomentStoreOptions options;
   options.batch_size = static_cast<std::size_t>(args.GetInt("batch", 4096));

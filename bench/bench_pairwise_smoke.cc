@@ -59,7 +59,8 @@ int Run(int argc, char** argv) {
   const int max_iters = static_cast<int>(args.GetInt("max_iters", 2));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
 
-  const engine::EngineConfig config = engine::EngineConfigFromArgs(args);
+  const engine::EngineConfig config =
+      bench::EngineConfigFromFlagsOrDie(args, "pairwise smoke");
   const engine::Engine eng(config);
 
   std::printf("[pairwise smoke] n=%zu m=%zu k=%d budget=%zu bytes "

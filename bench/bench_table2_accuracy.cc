@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "clustering/fdbscan.h"
 #include "clustering/foptics.h"
 #include "clustering/mmvar.h"
@@ -67,8 +68,8 @@ int main(int argc, char** argv) {
   const double umin = args.GetDouble("umin", 0.08);
   const double umax = args.GetDouble("umax", 0.40);
 
-  const auto algorithms =
-      MakeAlgorithms(engine::Engine(engine::EngineConfigFromArgs(args)));
+  const auto algorithms = MakeAlgorithms(
+      engine::Engine(bench::EngineConfigFromFlagsOrDie(args, "table2")));
   const data::PdfFamily families[] = {data::PdfFamily::kUniform,
                                       data::PdfFamily::kNormal,
                                       data::PdfFamily::kExponential};

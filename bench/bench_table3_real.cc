@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "clustering/fdbscan.h"
 #include "clustering/foptics.h"
 #include "clustering/mmvar.h"
@@ -58,8 +59,8 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(args.GetInt("runs", 2));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
 
-  const auto algorithms =
-      MakeAlgorithms(engine::Engine(engine::EngineConfigFromArgs(args)));
+  const auto algorithms = MakeAlgorithms(
+      engine::Engine(bench::EngineConfigFromFlagsOrDie(args, "table3")));
   const int cluster_counts[] = {2, 3, 5, 10, 15, 20, 25, 30};
 
   std::printf("=== Table 3: internal quality Q on real (microarray-like) "

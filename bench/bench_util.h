@@ -3,15 +3,20 @@
 #define UCLUST_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "clustering/result_json.h"
 #include "clustering/simd/simd.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "engine/engine.h"
 #include "uncertain/moments.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -37,30 +42,28 @@ inline long PeakRssKb() {
 /// on hardware_threads=1 is the machine's ceiling, not a regression.
 inline unsigned HardwareThreads() { return std::thread::hardware_concurrency(); }
 
-/// FNV-1a over a label vector plus the objective's exact bits: a
-/// timing-free results fingerprint. Two runs that cluster identically
-/// produce the same value regardless of how fast they ran — the CI handle
-/// for diffing forced-scalar vs auto SIMD dispatch.
+/// Strict engine-knob parsing for bench/tool main()s: every canonical knob
+/// present in `args` is applied via common::ParseEngineFlags; a malformed
+/// value prints "<tool>: <message>" to stderr and exits 1 (uniform across
+/// binaries — unlike the legacy lenient engine::EngineConfigFromArgs, which
+/// warned and kept the default).
+inline engine::EngineConfig EngineConfigFromFlagsOrDie(
+    const common::ArgParser& args, const char* tool) {
+  engine::EngineConfig cfg;
+  const common::Status st = common::ParseEngineFlags(args, &cfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", tool, st.ToString().c_str());
+    std::exit(1);
+  }
+  return cfg;
+}
+
+/// Timing-free results fingerprint — now canonical in
+/// clustering/result_json.h (the service result route hashes the same
+/// bytes); this alias keeps the historical bench spelling.
 inline uint64_t ResultFingerprint(std::span<const int> labels,
                                   double objective) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix_byte = [&h](unsigned char byte) {
-    h ^= byte;
-    h *= 1099511628211ull;
-  };
-  for (int label : labels) {
-    for (int b = 0; b < 32; b += 8) {
-      mix_byte(static_cast<unsigned char>(
-          (static_cast<uint32_t>(label) >> b) & 0xff));
-    }
-  }
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(objective));
-  std::memcpy(&bits, &objective, sizeof(bits));
-  for (int b = 0; b < 64; b += 8) {
-    mix_byte(static_cast<unsigned char>((bits >> b) & 0xff));
-  }
-  return h;
+  return clustering::ResultFingerprint(labels, objective);
 }
 
 /// FNV-1a over every moment byte of a view (mean, mu2, var row by row): a

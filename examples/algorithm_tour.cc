@@ -65,7 +65,14 @@ int main(int argc, char** argv) {
   algorithms.push_back(std::make_unique<clustering::Foptics>());
   // One shared engine for the whole tour; --threads=N parallelizes every
   // algorithm without changing any of the reported numbers except runtime.
-  const engine::Engine eng(engine::EngineConfigFromArgs(args));
+  engine::EngineConfig engine_cfg;
+  const common::Status engine_st = common::ParseEngineFlags(args, &engine_cfg);
+  if (!engine_st.ok()) {
+    std::fprintf(stderr, "algorithm_tour: %s\n",
+                 engine_st.ToString().c_str());
+    return 1;
+  }
+  const engine::Engine eng(engine_cfg);
   for (auto& algo : algorithms) algo->set_engine(eng);
 
   const int runs = static_cast<int>(args.GetInt("runs", 5));

@@ -1,5 +1,8 @@
 #include "clustering/registry.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "clustering/basic_ukmeans.h"
 #include "clustering/ckmeans.h"
 #include "clustering/fdbscan.h"
@@ -69,6 +72,28 @@ common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
   auto result = MakeClusterer(name);
   if (result.ok()) result.ValueOrDie()->set_engine(eng);
   return result;
+}
+
+std::unique_ptr<Clusterer> MakeClustererOrDie(std::string_view name) {
+  auto result = MakeClusterer(name);
+  if (!result.ok()) {
+    std::string names;
+    for (const std::string& registered : RegisteredClusterers()) {
+      if (!names.empty()) names += ", ";
+      names += registered;
+    }
+    std::fprintf(stderr, "registry: %s\nregistered clusterers: %s\n",
+                 result.status().ToString().c_str(), names.c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+std::unique_ptr<Clusterer> MakeClustererOrDie(std::string_view name,
+                                              const engine::Engine& eng) {
+  auto clusterer = MakeClustererOrDie(name);
+  clusterer->set_engine(eng);
+  return clusterer;
 }
 
 std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers() {

@@ -31,6 +31,18 @@ common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
 common::Result<std::unique_ptr<Clusterer>> MakeClusterer(
     std::string_view name, const engine::Engine& eng);
 
+/// MakeClusterer for binaries that cannot proceed without the algorithm:
+/// on an unknown name it prints the uniform one-line diagnostic
+/// "registry: NotFound: unknown clusterer: <name>" (plus the registered
+/// names) to stderr and exits with status 1. Library code — the service in
+/// particular — uses the Result-returning MakeClusterer and reports the
+/// Status instead.
+std::unique_ptr<Clusterer> MakeClustererOrDie(std::string_view name);
+
+/// MakeClustererOrDie with an execution engine installed.
+std::unique_ptr<Clusterer> MakeClustererOrDie(std::string_view name,
+                                              const engine::Engine& eng);
+
 /// Creates one instance of every registered algorithm.
 std::vector<std::unique_ptr<Clusterer>> MakeAllClusterers();
 

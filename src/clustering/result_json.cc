@@ -1,0 +1,72 @@
+#include "clustering/result_json.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace uclust::clustering {
+
+uint64_t ResultFingerprint(std::span<const int> labels, double objective) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (int label : labels) {
+    for (int b = 0; b < 32; b += 8) {
+      mix_byte(static_cast<unsigned char>(
+          (static_cast<uint32_t>(label) >> b) & 0xff));
+    }
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(objective));
+  std::memcpy(&bits, &objective, sizeof(bits));
+  for (int b = 0; b < 64; b += 8) {
+    mix_byte(static_cast<unsigned char>((bits >> b) & 0xff));
+  }
+  return h;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+void AppendResultJson(common::JsonWriter* json, const ClusteringResult& r,
+                      bool include_labels) {
+  json->BeginObject();
+  json->KV("k_requested", r.k_requested);
+  json->KV("clusters_found", r.clusters_found);
+  json->KV("iterations", r.iterations);
+  json->KVExact("objective", r.objective);
+  json->KV("fingerprint", FingerprintHex(ResultFingerprint(
+                              r.labels, r.objective)));
+  json->KV("online_ms", r.online_ms);
+  json->KV("offline_ms", r.offline_ms);
+  json->KV("ed_evaluations", r.ed_evaluations);
+  json->KV("noise_objects", r.noise_objects);
+  json->KV("pairwise_backend", r.pairwise_backend);
+  json->KV("table_bytes_peak", r.table_bytes_peak);
+  json->KV("pair_evaluations", r.pair_evaluations);
+  json->KV("tile_warm_hits", r.tile_warm_hits);
+  json->KV("tile_warm_misses", r.tile_warm_misses);
+  json->KV("pairs_pruned", r.pairs_pruned);
+  json->KV("center_distance_evals", r.center_distance_evals);
+  json->KV("bounds_skipped", r.bounds_skipped);
+  if (include_labels) {
+    json->Key("labels");
+    json->BeginArray();
+    for (int label : r.labels) json->Value(label);
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+std::string ResultToJson(const ClusteringResult& r, bool include_labels) {
+  common::JsonWriter json;
+  AppendResultJson(&json, r, include_labels);
+  return std::move(json.str());
+}
+
+}  // namespace uclust::clustering

@@ -1,0 +1,43 @@
+// Canonical serialization of a ClusteringResult, plus the timing-free
+// results fingerprint. This is the ONE place a result becomes JSON: the
+// service's GET /v1/jobs/{id}/result route, the fig5 bench axes, and the
+// golden-file test all emit through AppendResultJson, so a field added to
+// ClusteringResult shows up everywhere (or nowhere) at once.
+#ifndef UCLUST_CLUSTERING_RESULT_JSON_H_
+#define UCLUST_CLUSTERING_RESULT_JSON_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "clustering/clusterer.h"
+#include "common/json.h"
+
+namespace uclust::clustering {
+
+/// FNV-1a over the label vector plus the objective's exact bits: a
+/// timing-free results fingerprint. Two runs that cluster identically
+/// produce the same value regardless of how fast they ran — the handle CI
+/// uses to diff a service job against a direct in-process run, and
+/// forced-scalar against auto SIMD dispatch.
+uint64_t ResultFingerprint(std::span<const int> labels, double objective);
+
+/// The fingerprint as the fixed-width lowercase hex string every marker
+/// line and JSON document carries ("%016llx").
+std::string FingerprintHex(uint64_t fingerprint);
+
+/// Appends the canonical result object to an open JsonWriter document.
+/// Counters and timings are always emitted; `labels` (potentially huge) are
+/// opt-in. The objective is written round-trippable (%.17g) and the
+/// "fingerprint" field carries FingerprintHex(ResultFingerprint(...)), so
+/// two documents describe bit-identical clusterings iff their fingerprints
+/// match. Field order is fixed — the golden-file test pins it.
+void AppendResultJson(common::JsonWriter* json, const ClusteringResult& r,
+                      bool include_labels);
+
+/// The canonical result object as a standalone JSON document.
+std::string ResultToJson(const ClusteringResult& r, bool include_labels);
+
+}  // namespace uclust::clustering
+
+#endif  // UCLUST_CLUSTERING_RESULT_JSON_H_

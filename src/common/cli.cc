@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "engine/engine.h"
+
 namespace uclust::common {
 
 ArgParser::ArgParser(int argc, char** argv) {
@@ -50,6 +52,19 @@ bool ArgParser::GetBool(const std::string& key, bool def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Status ParseEngineFlags(const ArgParser& args, engine::EngineConfig* config) {
+  for (const std::string& key : engine::EngineKnobNames()) {
+    if (!args.Has(key)) continue;
+    UCLUST_RETURN_NOT_OK(
+        engine::ApplyEngineKnob(key, args.GetString(key, ""), config));
+  }
+  return Status::Ok();
+}
+
+Status ParseEngineFlags(int argc, char** argv, engine::EngineConfig* config) {
+  return ParseEngineFlags(ArgParser(argc, argv), config);
 }
 
 }  // namespace uclust::common

@@ -1,10 +1,17 @@
-// Tiny --key=value command-line parser for bench/example binaries.
+// Tiny --key=value command-line parser for bench/example binaries, plus the
+// shared engine-flag entry point every binary routes through.
 #ifndef UCLUST_COMMON_CLI_H_
 #define UCLUST_COMMON_CLI_H_
 
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/status.h"
+
+namespace uclust::engine {
+struct EngineConfig;
+}  // namespace uclust::engine
 
 namespace uclust::common {
 
@@ -30,6 +37,19 @@ class ArgParser {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Parses every canonical engine knob present in `args` into `config`
+/// (see engine::ApplyEngineKnob in engine/engine.h for the key table).
+/// Flags the engine does not own are ignored — callers keep parsing their
+/// own flags from the same ArgParser. Unlike the legacy
+/// engine::EngineConfigFromArgs, a malformed value is a returned error,
+/// not a silent default: every binary fails loudly on the same message.
+/// `config` keeps its pre-call values for knobs that are absent, so
+/// callers may pre-seed defaults.
+Status ParseEngineFlags(const ArgParser& args, engine::EngineConfig* config);
+
+/// Convenience overload parsing straight from argv.
+Status ParseEngineFlags(int argc, char** argv, engine::EngineConfig* config);
 
 }  // namespace uclust::common
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "clustering/simd/simd.h"
@@ -67,29 +68,122 @@ std::string Engine::simd_isa() const {
   return clustering::simd::IsaName(clustering::simd::ActiveIsa());
 }
 
+namespace {
+
+// Strict value grammars shared by every knob. Unlike ArgParser's lenient
+// getters, a malformed value is an error, not a silent default.
+common::Status ParseKnobInt(const std::string& key, const std::string& value,
+                            int64_t min, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || v < min) {
+    return common::Status::InvalidArgument(
+        "engine knob '" + key + "': expected an integer >= " +
+        std::to_string(min) + ", got '" + value + "'");
+  }
+  *out = static_cast<int64_t>(v);
+  return common::Status::Ok();
+}
+
+common::Status ParseKnobBool(const std::string& key, const std::string& value,
+                             bool* out) {
+  if (value == "true" || value == "1" || value == "yes") {
+    *out = true;
+    return common::Status::Ok();
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    *out = false;
+    return common::Status::Ok();
+  }
+  return common::Status::InvalidArgument(
+      "engine knob '" + key + "': expected true/1/yes or false/0/no, got '" +
+      value + "'");
+}
+
+}  // namespace
+
+common::Status ApplyEngineKnob(const std::string& key,
+                               const std::string& value, EngineConfig* cfg) {
+  int64_t n = 0;
+  bool b = false;
+  if (key == "threads") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->num_threads = static_cast<int>(n);
+  } else if (key == "block_size") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 1, &n));
+    cfg->block_size = static_cast<std::size_t>(n);
+  } else if (key == "memory_budget_bytes") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->memory_budget_bytes = static_cast<std::size_t>(n);
+  } else if (key == "memory_budget_mb") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->memory_budget_bytes =
+        static_cast<std::size_t>(n) * (std::size_t{1} << 20);
+  } else if (key == "moment_chunk_rows") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->moment_chunk_rows = static_cast<std::size_t>(n);
+  } else if (key == "pairwise_gather_tiles") {
+    UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
+    cfg->pairwise_gather_tiles = b;
+  } else if (key == "pairwise_warm_rows") {
+    UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
+    cfg->pairwise_warm_rows = b;
+  } else if (key == "pairwise_pruned_sweeps") {
+    UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
+    cfg->pairwise_pruned_sweeps = b;
+  } else if (key == "ukmeans_ckmeans_reduction") {
+    UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
+    cfg->ukmeans_ckmeans_reduction = b;
+  } else if (key == "ukmeans_bound_pruning") {
+    UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
+    cfg->ukmeans_bound_pruning = b;
+  } else if (key == "ukmeans_minibatch_size") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->ukmeans_minibatch_size = static_cast<std::size_t>(n);
+  } else if (key == "simd_isa") {
+    clustering::simd::Isa isa;
+    if (!clustering::simd::IsaFromString(value, &isa)) {
+      return common::Status::InvalidArgument(
+          "engine knob 'simd_isa': expected auto, scalar, avx2, or neon, "
+          "got '" + value + "'");
+    }
+    cfg->simd_isa = value;
+  } else {
+    return common::Status::InvalidArgument("unknown engine knob '" + key +
+                                           "'");
+  }
+  return common::Status::Ok();
+}
+
+const std::vector<std::string>& EngineKnobNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "threads",
+      "block_size",
+      "memory_budget_mb",
+      "memory_budget_bytes",
+      "moment_chunk_rows",
+      "pairwise_gather_tiles",
+      "pairwise_warm_rows",
+      "pairwise_pruned_sweeps",
+      "ukmeans_ckmeans_reduction",
+      "ukmeans_bound_pruning",
+      "ukmeans_minibatch_size",
+      "simd_isa",
+  };
+  return *names;
+}
+
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args) {
   EngineConfig config;
-  config.num_threads = static_cast<int>(args.GetInt("threads", 1));
-  config.block_size =
-      static_cast<std::size_t>(args.GetInt("block_size", 1024));
-  config.memory_budget_bytes = static_cast<std::size_t>(
-      args.GetInt("memory_budget_mb", 0)) * (std::size_t{1} << 20);
-  if (args.Has("memory_budget_bytes")) {
-    config.memory_budget_bytes =
-        static_cast<std::size_t>(args.GetInt("memory_budget_bytes", 0));
+  for (const std::string& key : EngineKnobNames()) {
+    if (!args.Has(key)) continue;
+    const common::Status st =
+        ApplyEngineKnob(key, args.GetString(key, ""), &config);
+    if (!st.ok()) {
+      std::fprintf(stderr, "engine: %s (keeping the default)\n",
+                   st.message().c_str());
+    }
   }
-  config.moment_chunk_rows =
-      static_cast<std::size_t>(args.GetInt("moment_chunk_rows", 0));
-  config.pairwise_gather_tiles = args.GetBool("pairwise_gather_tiles", true);
-  config.pairwise_warm_rows = args.GetBool("pairwise_warm_rows", true);
-  config.pairwise_pruned_sweeps =
-      args.GetBool("pairwise_pruned_sweeps", true);
-  config.ukmeans_ckmeans_reduction =
-      args.GetBool("ukmeans_ckmeans_reduction", true);
-  config.ukmeans_bound_pruning = args.GetBool("ukmeans_bound_pruning", true);
-  config.ukmeans_minibatch_size =
-      static_cast<std::size_t>(args.GetInt("ukmeans_minibatch_size", 0));
-  config.simd_isa = args.GetString("simd_isa", "auto");
   return config;
 }
 

@@ -18,7 +18,9 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "engine/thread_pool.h"
 
 namespace uclust::common {
@@ -156,16 +158,41 @@ class Engine {
   std::shared_ptr<ThreadPool> pool_;
 };
 
-/// Reads `--threads=N` (0 = auto), `--block_size=B`,
-/// `--memory_budget_bytes=B` (or the `--memory_budget_mb=M` convenience
-/// form; bytes win when both are given, 0 = unlimited),
-/// `--moment_chunk_rows=R` (0 = default), the tile-policy toggles
-/// `--pairwise_gather_tiles=0/1`, `--pairwise_warm_rows=0/1`,
-/// `--pairwise_pruned_sweeps=0/1` (all default 1), and the UK-means
-/// fast-path knobs `--ukmeans_ckmeans_reduction=0/1`,
-/// `--ukmeans_bound_pruning=0/1` (default 1),
-/// `--ukmeans_minibatch_size=N` (0 = auto), and
-/// `--simd_isa=auto|scalar|avx2|neon` from parsed flags.
+/// The canonical string-knob table. Every path from external strings to an
+/// EngineConfig — bench/tool flags via common::ParseEngineFlags, the
+/// service's JSON JobSpec — applies knobs through this one function, so
+/// the accepted keys, value grammar, and defaults cannot drift per binary.
+///
+/// Keys (the `--key=value` flag spellings without dashes):
+///   threads                   int >= 0 (0 = hardware concurrency)
+///   block_size                int >= 1
+///   memory_budget_bytes       int >= 0 (0 = unlimited)
+///   memory_budget_mb          convenience form; sets the bytes field
+///   moment_chunk_rows         int >= 0 (0 = format default)
+///   pairwise_gather_tiles     bool (true/1/yes | false/0/no)
+///   pairwise_warm_rows        bool
+///   pairwise_pruned_sweeps    bool
+///   ukmeans_ckmeans_reduction bool
+///   ukmeans_bound_pruning     bool
+///   ukmeans_minibatch_size    int >= 0 (0 = auto)
+///   simd_isa                  auto|scalar|avx2|neon (name validated here;
+///                             availability resolves at Engine construction)
+///
+/// Returns InvalidArgument for an unknown key or an unparsable value;
+/// `cfg` is unchanged on error. Later applications override earlier ones
+/// (so memory_budget_bytes after memory_budget_mb wins, and vice versa).
+common::Status ApplyEngineKnob(const std::string& key,
+                               const std::string& value, EngineConfig* cfg);
+
+/// The knob keys ApplyEngineKnob accepts, in canonical order
+/// (memory_budget_mb before memory_budget_bytes, so flag parsing preserves
+/// the historical "bytes win when both are given" rule).
+const std::vector<std::string>& EngineKnobNames();
+
+/// Reads every ApplyEngineKnob key present in `args` (see the key table
+/// above). Invalid values keep the default and warn on stderr — the
+/// legacy lenient behavior; new code should prefer
+/// common::ParseEngineFlags, which surfaces them as errors.
 EngineConfig EngineConfigFromArgs(const common::ArgParser& args);
 
 }  // namespace uclust::engine

@@ -1,0 +1,72 @@
+#include "service/dataset_registry.h"
+
+#include <string_view>
+
+#include "io/dataset_reader.h"
+#include "service/log.h"
+
+namespace uclust::service {
+
+common::Result<DatasetInfo> DatasetRegistry::Register(
+    const std::string& path, const std::string& moments_path) {
+  if (path.empty()) {
+    return common::Status::InvalidArgument("registry: dataset path is empty");
+  }
+  if (!moments_path.empty()) {
+    constexpr std::string_view kExt = ".umom";
+    if (moments_path.size() < kExt.size() ||
+        moments_path.compare(moments_path.size() - kExt.size(), kExt.size(),
+                             kExt) != 0) {
+      return common::Status::InvalidArgument(
+          "registry: moments path must end in .umom: " + moments_path);
+    }
+  }
+
+  // Validate the header before taking the lock — Open() touches the disk.
+  io::BinaryDatasetReader reader;
+  UCLUST_RETURN_NOT_OK(reader.Open(path));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (DatasetInfo& existing : datasets_) {
+    if (existing.path == path) {
+      if (!moments_path.empty()) existing.moments_path = moments_path;
+      return existing;
+    }
+  }
+  DatasetInfo info;
+  info.id = "ds-" + std::to_string(datasets_.size() + 1);
+  info.path = path;
+  info.name = reader.name();
+  info.n = reader.size();
+  info.m = reader.dims();
+  info.num_classes = reader.num_classes();
+  info.has_labels = reader.has_labels();
+  info.file_bytes = reader.file_bytes();
+  info.moments_path = moments_path;
+  datasets_.push_back(info);
+  LogEvent("dataset_registered", {{"dataset", info.id},
+                                  {"path", info.path},
+                                  {"n", std::to_string(info.n)},
+                                  {"m", std::to_string(info.m)}});
+  return info;
+}
+
+common::Result<DatasetInfo> DatasetRegistry::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const DatasetInfo& info : datasets_) {
+    if (info.id == id) return info;
+  }
+  return common::Status::NotFound("registry: unknown dataset id: " + id);
+}
+
+std::vector<DatasetInfo> DatasetRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_;
+}
+
+std::size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.size();
+}
+
+}  // namespace uclust::service

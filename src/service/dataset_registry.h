@@ -1,0 +1,65 @@
+// Dataset registry: the service's catalog of clusterable inputs. Clients
+// register a binary dataset file (`.ubin`, the dataset_gen / binary_format
+// layout) by path; the registry validates the header up front (magic,
+// endianness, version — via io::BinaryDatasetReader::Open) and hands back a
+// stable id ("ds-1", "ds-2", ...) that job specs reference. Re-registering
+// the same canonical path returns the existing id rather than a duplicate.
+//
+// A registration may also carry a `.umom` moment sidecar path; jobs that
+// stream moments pass it through io::MomentStoreOptions::sidecar_path, so
+// the PR-4 staleness guard (n, m, byte size, mtime, content probe) decides
+// reuse-vs-rebuild exactly as the CLI tools do.
+#ifndef UCLUST_SERVICE_DATASET_REGISTRY_H_
+#define UCLUST_SERVICE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uclust::service {
+
+/// Everything the service knows about one registered dataset.
+struct DatasetInfo {
+  std::string id;            // "ds-1"
+  std::string path;          // as registered
+  std::string name;          // dataset name stored in the file header
+  std::size_t n = 0;         // objects
+  std::size_t m = 0;         // dimensions
+  int num_classes = 0;       // 0 when unlabeled
+  bool has_labels = false;
+  std::uint64_t file_bytes = 0;
+  std::string moments_path;  // optional .umom sidecar ("" = none)
+};
+
+/// Thread-safe id -> DatasetInfo catalog. Ids are process-lifetime stable;
+/// there is no unregister (jobs may hold an id across their whole queue
+/// wait, and the catalog is tiny next to the datasets themselves).
+class DatasetRegistry {
+ public:
+  /// Validates `path`'s header and registers it. `moments_path` (optional)
+  /// must end in ".umom" if given; it is recorded, not opened — the
+  /// sidecar guard runs when a job actually streams moments. Registering
+  /// an already-registered path updates moments_path and returns the
+  /// existing entry.
+  common::Result<DatasetInfo> Register(const std::string& path,
+                                       const std::string& moments_path = "");
+
+  /// Looks up an id. kNotFound with the id echoed when absent.
+  common::Result<DatasetInfo> Get(const std::string& id) const;
+
+  /// Snapshot of every registration, in id order.
+  std::vector<DatasetInfo> List() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DatasetInfo> datasets_;  // index i holds "ds-(i+1)"
+};
+
+}  // namespace uclust::service
+
+#endif  // UCLUST_SERVICE_DATASET_REGISTRY_H_

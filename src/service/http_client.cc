@@ -1,0 +1,87 @@
+#include "service/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace uclust::service {
+
+common::Result<HttpClientResponse> HttpFetch(int port,
+                                             const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return common::Status::Internal("http_client: socket() failed: " +
+                                    std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return common::Status::Internal("http_client: connect() failed: " + err);
+  }
+
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1:" + std::to_string(port) + "\r\n";
+  if (!body.empty()) {
+    req += "Content-Type: application/json\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "Connection: close\r\n\r\n";
+  req += body;
+
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      ::close(fd);
+      return common::Status::Internal("http_client: send() failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // The server closes after one response, so read to EOF.
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return common::Status::Internal("http_client: recv() failed: " +
+                                      std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return common::Status::Internal("http_client: malformed response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return common::Status::Internal("http_client: malformed status line");
+  }
+  HttpClientResponse resp;
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  resp.body = raw.substr(head_end + 4);
+  return resp;
+}
+
+}  // namespace uclust::service

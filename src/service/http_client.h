@@ -1,0 +1,29 @@
+// Minimal blocking HTTP/1.1 client for loopback use only: the smoke bench
+// and the service tests talk to HttpServer through real sockets with it.
+// One request per connection (matching the server's Connection: close
+// policy); no TLS, no redirects, no keep-alive.
+#ifndef UCLUST_SERVICE_HTTP_CLIENT_H_
+#define UCLUST_SERVICE_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace uclust::service {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Performs one `method target` request against 127.0.0.1:`port` with an
+/// optional JSON body, reads the full response, closes the socket. Errors
+/// (connect failure, malformed response) come back as a non-OK Status.
+common::Result<HttpClientResponse> HttpFetch(int port,
+                                             const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body = "");
+
+}  // namespace uclust::service
+
+#endif  // UCLUST_SERVICE_HTTP_CLIENT_H_

@@ -1,0 +1,136 @@
+// Minimal stdlib-only HTTP/1.1 front end for the clustering service: a
+// blocking accept loop feeding a small worker pool over a bounded
+// connection queue. Scope is deliberately narrow — loopback REST for job
+// control, not a general web server:
+//
+//   * one request per connection (`Connection: close` on every response;
+//     keep-alive is not negotiated),
+//   * bodies require Content-Length (chunked transfer encoding is refused
+//     with 501),
+//   * hard caps on header bytes (431), body bytes (413), and per-connection
+//     receive time (408), so a stalled or hostile peer cannot wedge a
+//     worker; truncated or malformed requests get a 400 and the socket is
+//     closed.
+//
+// Parsing is factored out (`ParseHttpRequest`) so the hardening paths are
+// unit-testable without sockets.
+#ifndef UCLUST_SERVICE_HTTP_SERVER_H_
+#define UCLUST_SERVICE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uclust::service {
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// `target` is the raw request-target (path + optional query, unescaped).
+struct HttpRequest {
+  std::string method;   // "GET", "POST", "DELETE", ...
+  std::string target;   // "/v1/jobs/j-1"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup (names are stored lower-cased);
+  /// returns "" when absent.
+  const std::string& Header(const std::string& lower_name) const;
+};
+
+/// One response; the server adds Content-Length and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Maps a status code to its reason phrase ("OK", "Not Found", ...).
+const char* HttpStatusReason(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via HttpServer::port().
+  int port = 0;
+  std::size_t worker_threads = 4;
+  /// Pending accepted connections beyond the workers; further accepts are
+  /// answered 503 and closed.
+  std::size_t connection_backlog = 64;
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Per-recv() timeout; a peer silent for longer gets 408.
+  int recv_timeout_ms = 5000;
+};
+
+/// Incremental request parser outcome. kNeedMore means the buffer holds a
+/// valid prefix — read more bytes; an eventual EOF there is a truncated
+/// request (400).
+enum class ParseOutcome {
+  kDone,             // request fully parsed
+  kNeedMore,         // valid so far, incomplete
+  kBad,              // malformed -> 400
+  kHeadersTooLarge,  // -> 431
+  kBodyTooLarge,     // -> 413
+  kUnsupported,      // chunked/unknown framing -> 501
+};
+
+/// Parses one request from `data`. On kDone fills `*req` and sets
+/// `*consumed` to the bytes used. Limits come from `cfg`.
+ParseOutcome ParseHttpRequest(std::string_view data,
+                              const HttpServerConfig& cfg, HttpRequest* req,
+                              std::size_t* consumed);
+
+/// Serializes a response head+body exactly as the server writes it.
+std::string RenderHttpResponse(const HttpResponse& resp);
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig cfg, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds + listens and starts the accept loop and workers. Fails with
+  /// kInternal if the socket cannot be bound.
+  common::Status Start();
+
+  /// Stops accepting, drains in-flight work, joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved after Start() when cfg.port == 0).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  HttpServerConfig cfg_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uclust::service
+
+#endif  // UCLUST_SERVICE_HTTP_SERVER_H_

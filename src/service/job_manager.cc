@@ -1,0 +1,313 @@
+#include "service/job_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "clustering/ckmeans.h"
+#include "clustering/registry.h"
+#include "io/dataset_reader.h"
+#include "service/log.h"
+
+namespace uclust::service {
+
+namespace {
+
+double UptimeMs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The real clustering runner. UK-means / CK-means go through the
+/// bounded-memory file-backed CK-means driver (bit-identical to the direct
+/// sweeps by the library contract, and the only path that honors a budget
+/// smaller than the resident moments); every other algorithm loads the
+/// dataset fully resident and dispatches through the registry.
+common::Result<clustering::ClusteringResult> RunClusteringJob(
+    const JobSpec& spec, const DatasetInfo& dataset,
+    const engine::EngineConfig& engine_cfg) {
+  engine::Engine eng(engine_cfg);
+  if (spec.algorithm == "UK-means" || spec.algorithm == "CK-means") {
+    clustering::CkMeans::Params params;
+    params.max_iters = spec.max_iters;
+    params.init = clustering::InitStrategy::kRandom;
+    params.reduction = engine_cfg.ukmeans_ckmeans_reduction;
+    params.bound_pruning = engine_cfg.ukmeans_bound_pruning;
+    params.minibatch_size = engine_cfg.ukmeans_minibatch_size;
+    return clustering::CkMeans::ClusterFile(dataset.path, spec.k, spec.seed,
+                                            params, eng);
+  }
+  common::Result<data::UncertainDataset> ds =
+      io::ReadUncertainDataset(dataset.path);
+  if (!ds.ok()) return ds.status();
+  common::Result<std::unique_ptr<clustering::Clusterer>> clusterer =
+      clustering::MakeClusterer(spec.algorithm, eng);
+  if (!clusterer.ok()) return clusterer.status();
+  return clusterer.ValueOrDie()->Cluster(ds.ValueOrDie(), spec.k, spec.seed);
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(const DatasetRegistry* registry, JobManagerConfig cfg)
+    : registry_(registry), cfg_(std::move(cfg)) {
+  if (cfg_.executors < 1) cfg_.executors = 1;
+  metrics_.global_budget_bytes = cfg_.global_budget_bytes;
+}
+
+JobManager::~JobManager() { Stop(); }
+
+void JobManager::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  // The lanes are one long-lived RunTasks batch on the engine ThreadPool:
+  // the pool contributes executors-1 workers and the holder thread is the
+  // batch's calling lane, so exactly cfg_.executors loops run.
+  pool_ = std::make_unique<engine::ThreadPool>(
+      std::max(1, cfg_.executors - 1));
+  const std::size_t lanes = static_cast<std::size_t>(cfg_.executors);
+  pool_holder_ = std::thread([this, lanes] {
+    pool_->RunTasks(lanes, [this](std::size_t) { ExecutorLoop(); });
+  });
+}
+
+void JobManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) return;
+    stop_ = true;
+    for (Job* job : queue_) {
+      job->state = JobState::kCancelled;
+      job->finished_ms = UptimeMs();
+      ++metrics_.cancelled;
+    }
+    queue_.clear();
+    metrics_.queued = 0;
+  }
+  cv_.notify_all();
+  if (pool_holder_.joinable()) pool_holder_.join();
+  pool_.reset();
+}
+
+common::Result<std::string> JobManager::Submit(JobSpec spec,
+                                               const std::string& request_id) {
+  common::Result<DatasetInfo> dataset = registry_->Get(spec.dataset_id);
+  if (!dataset.ok()) return dataset.status();
+
+  const std::size_t global = cfg_.global_budget_bytes;
+  std::size_t budget = spec.engine.memory_budget_bytes;
+  if (global > 0) {
+    if (budget == 0) budget = global;  // unbudgeted jobs claim the pool
+    if (budget > global) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++metrics_.rejected;
+      return common::Status::OutOfRange(
+          "job: memory_budget_bytes " + std::to_string(budget) +
+          " exceeds the global budget " + std::to_string(global));
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    return common::Status::Internal("job: manager is shut down");
+  }
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++metrics_.rejected;
+    return common::Status::OutOfRange(
+        "job: queue full (" + std::to_string(cfg_.queue_capacity) +
+        " queued jobs)");
+  }
+  auto job = std::make_unique<Job>();
+  job->id = "j-" + std::to_string(jobs_.size() + 1);
+  job->spec = std::move(spec);
+  job->dataset = std::move(dataset).ValueOrDie();
+  job->budget = budget;
+  job->request_id = request_id;
+  job->queued_ms = UptimeMs();
+  Job* raw = job.get();
+  jobs_.push_back(std::move(job));
+  queue_.push_back(raw);
+  ++metrics_.submitted;
+  metrics_.queued = queue_.size();
+  const std::string id = raw->id;
+  lock.unlock();
+  cv_.notify_all();
+  LogEvent("job_queued", {{"request", request_id},
+                          {"job", id},
+                          {"dataset", raw->dataset.id},
+                          {"algorithm", raw->spec.algorithm},
+                          {"k", std::to_string(raw->spec.k)},
+                          {"budget", std::to_string(budget)}});
+  return id;
+}
+
+bool JobManager::Admissible(const Job& job) const {
+  if (cfg_.global_budget_bytes == 0) return true;
+  return budget_in_use_ + job.budget <= cfg_.global_budget_bytes;
+}
+
+void JobManager::ExecutorLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // FIFO head-of-line admission: only the queue head is eligible, and
+      // it runs only when its budget fits. A blocked head blocks the lane
+      // — that is the serialization guarantee, not a defect.
+      for (;;) {
+        if (stop_) return;
+        if (!queue_.empty()) {
+          if (Admissible(*queue_.front())) break;
+          if (!queue_.front()->counted_admission_wait) {
+            queue_.front()->counted_admission_wait = true;
+            ++metrics_.admission_waits;
+          }
+        }
+        cv_.wait(lock);
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      metrics_.queued = queue_.size();
+      job->state = JobState::kRunning;
+      job->started_ms = UptimeMs();
+      budget_in_use_ += job->budget;
+      metrics_.budget_in_use_bytes = budget_in_use_;
+      ++metrics_.running;
+      metrics_.max_running_concurrent =
+          std::max(metrics_.max_running_concurrent, metrics_.running);
+    }
+    cv_.notify_all();  // the new head may be admissible for another lane
+
+    LogEvent("job_start", {{"job", job->id},
+                           {"request", job->request_id},
+                           {"algorithm", job->spec.algorithm},
+                           {"budget", std::to_string(job->budget)}});
+
+    // Run outside the lock. The admitted budget becomes the job's engine
+    // budget so the per-job memory machinery enforces it.
+    engine::EngineConfig engine_cfg = job->spec.engine;
+    if (cfg_.global_budget_bytes > 0) {
+      engine_cfg.memory_budget_bytes = job->budget;
+    }
+    common::Result<clustering::ClusteringResult> outcome =
+        cfg_.runner_override
+            ? cfg_.runner_override(job->spec, job->dataset, engine_cfg)
+            : RunClusteringJob(job->spec, job->dataset, engine_cfg);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->finished_ms = UptimeMs();
+      if (outcome.ok()) {
+        job->result = std::move(outcome).ValueOrDie();
+        job->state = JobState::kDone;
+        ++metrics_.completed;
+      } else {
+        job->error = outcome.status().ToString();
+        job->state = JobState::kFailed;
+        ++metrics_.failed;
+      }
+      budget_in_use_ -= job->budget;
+      metrics_.budget_in_use_bytes = budget_in_use_;
+      --metrics_.running;
+    }
+    cv_.notify_all();
+    LogEvent("job_finish",
+             {{"job", job->id},
+              {"request", job->request_id},
+              {"state", JobStateName(job->state)},
+              {"ms", std::to_string(job->finished_ms - job->started_ms)}});
+  }
+}
+
+common::Result<JobSnapshot> JobManager::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->id == id) return SnapshotLocked(*job);
+  }
+  return common::Status::NotFound("job: unknown job id: " + id);
+}
+
+common::Status JobManager::Cancel(const std::string& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Job* found = nullptr;
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->id == id) {
+      found = job.get();
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return common::Status::NotFound("job: unknown job id: " + id);
+  }
+  switch (found->state) {
+    case JobState::kQueued: {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), found));
+      found->state = JobState::kCancelled;
+      found->finished_ms = UptimeMs();
+      ++metrics_.cancelled;
+      metrics_.queued = queue_.size();
+      lock.unlock();
+      cv_.notify_all();  // the head may have changed
+      LogEvent("job_cancelled", {{"job", id}});
+      return common::Status::Ok();
+    }
+    case JobState::kRunning:
+      return common::Status::InvalidArgument(
+          "job: " + id + " is running and cannot be cancelled");
+    default:
+      return common::Status::Ok();  // already terminal — idempotent
+  }
+}
+
+bool JobManager::Wait(const std::string& id, int timeout_ms) const {
+  const auto terminal = [this, &id]() {
+    for (const std::unique_ptr<Job>& job : jobs_) {
+      if (job->id != id) continue;
+      return job->state == JobState::kDone ||
+             job->state == JobState::kFailed ||
+             job->state == JobState::kCancelled;
+    }
+    return false;  // unknown id never becomes terminal
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms < 0) {
+    cv_.wait(lock, terminal);
+    return true;
+  }
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), terminal);
+}
+
+JobMetrics JobManager::Metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
+  JobSnapshot snap;
+  snap.id = job.id;
+  snap.state = job.state;
+  snap.spec = job.spec;
+  snap.dataset = job.dataset;
+  snap.effective_budget_bytes = job.budget;
+  snap.error = job.error;
+  snap.result = job.result;
+  snap.request_id = job.request_id;
+  snap.queued_ms = job.queued_ms;
+  snap.started_ms = job.started_ms;
+  snap.finished_ms = job.finished_ms;
+  return snap;
+}
+
+}  // namespace uclust::service

@@ -1,0 +1,86 @@
+#include "service/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace uclust::service {
+
+namespace {
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::atomic<bool>& Enabled() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+double UptimeMs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+bool NeedsQuoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendValue(std::string* line, const std::string& v) {
+  if (!NeedsQuoting(v)) {
+    *line += v;
+    return;
+  }
+  *line += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') *line += '\\';
+    if (c == '\n') {
+      *line += "\\n";
+      continue;
+    }
+    *line += c;
+  }
+  *line += '"';
+}
+
+}  // namespace
+
+void LogEvent(std::string_view event,
+              std::initializer_list<LogField> fields) {
+  if (!Enabled().load(std::memory_order_relaxed)) return;
+  std::string line;
+  char head[64];
+  std::snprintf(head, sizeof(head), "ts=%.1f event=", UptimeMs());
+  line += head;
+  line.append(event.data(), event.size());
+  for (const LogField& field : fields) {
+    line += ' ';
+    line.append(field.first.data(), field.first.size());
+    line += '=';
+    AppendValue(&line, field.second);
+  }
+  line += '\n';
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void SetLogEnabled(bool enabled) {
+  Enabled().store(enabled, std::memory_order_relaxed);
+}
+
+std::string NextRequestId() {
+  static std::atomic<uint64_t> counter{0};
+  return "r-" + std::to_string(counter.fetch_add(1) + 1);
+}
+
+}  // namespace uclust::service

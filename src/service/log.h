@@ -1,0 +1,37 @@
+// Structured logging for the service layer: one key=value line per event,
+// with request/job correlation ids threaded through every route and job
+// transition, so a single grep over the log reconstructs a job's lifecycle
+// (submit request id -> job id -> state transitions -> result request id).
+//
+// Deliberately tiny: events go to stderr (stdout stays clean for tool
+// output), a process-wide mutex keeps lines atomic across the HTTP worker
+// pool and the job executors, and values are quoted only when they need
+// to be — the lines stay both human-readable and machine-splittable.
+#ifndef UCLUST_SERVICE_LOG_H_
+#define UCLUST_SERVICE_LOG_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace uclust::service {
+
+/// One log field: key=value. Values containing spaces, quotes, or '=' are
+/// emitted double-quoted with backslash escapes.
+using LogField = std::pair<std::string_view, std::string>;
+
+/// Emits `ts=<uptime-ms> event=<event> k1=v1 k2=v2 ...` as one atomic
+/// stderr line. The timestamp is milliseconds since process start — stable
+/// across log diffing, free of wall-clock skew within a run.
+void LogEvent(std::string_view event, std::initializer_list<LogField> fields);
+
+/// Globally disables/enables event emission (tests silence the logger).
+void SetLogEnabled(bool enabled);
+
+/// Fresh process-unique request correlation id ("r-1", "r-2", ...).
+std::string NextRequestId();
+
+}  // namespace uclust::service
+
+#endif  // UCLUST_SERVICE_LOG_H_

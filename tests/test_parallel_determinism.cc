@@ -214,7 +214,7 @@ TEST(ParallelDeterminism, TiledBackendBitIdenticalAcrossThreadCounts) {
     config.num_threads = threads;
     config.block_size = 32;
     config.memory_budget_bytes = budget;
-    return MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+    return MakeClustererOrDie(name, engine::Engine(config));
   };
   for (const std::string& name :
        {std::string("UK-medoids"), std::string("UAHC"),
@@ -255,7 +255,7 @@ TEST(ParallelDeterminism, TilePoliciesBitIdenticalAcrossThreadCounts) {
     config.pairwise_gather_tiles = gather;
     config.pairwise_warm_rows = warm;
     config.pairwise_pruned_sweeps = pruned;
-    return MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+    return MakeClustererOrDie(name, engine::Engine(config));
   };
   for (const std::string& name :
        {std::string("UK-medoids"), std::string("UAHC"),
@@ -302,14 +302,14 @@ TEST(ParallelDeterminism, EveryRegisteredAlgorithmMatchesSerial) {
     serial_config.num_threads = 1;
     serial_config.block_size = 32;
     const auto serial_algo =
-        MakeClusterer(name, engine::Engine(serial_config)).ValueOrDie();
+        MakeClustererOrDie(name, engine::Engine(serial_config));
     const ClusteringResult baseline = serial_algo->Cluster(ds, 3, 13);
     for (int threads : {2, 8}) {
       engine::EngineConfig config;
       config.num_threads = threads;
       config.block_size = 32;
       const auto algo =
-          MakeClusterer(name, engine::Engine(config)).ValueOrDie();
+          MakeClustererOrDie(name, engine::Engine(config));
       const ClusteringResult out = algo->Cluster(ds, 3, 13);
       EXPECT_EQ(out.labels, baseline.labels)
           << name << " threads=" << threads;

@@ -29,13 +29,18 @@
 //                     dataset in a second bounded-memory pass, so bench runs
 //                     on the Mapped moment backend can reuse it instead of
 //                     re-ingesting (see src/io/moment_file.h)
-//   --moment_chunk_rows=R     sidecar chunk rows (rounded up to a power of
-//                     two; 0 = format default)
+//
+// Engine knobs (--threads, --moment_chunk_rows, ...) are parsed strictly
+// through the canonical common::ParseEngineFlags table and drive the
+// sidecar pass: --moment_chunk_rows sets the chunk rows (rounded up to a
+// power of two; 0 = format default) and --threads parallelizes the moment
+// packing.
 #include <cstdio>
 #include <string>
 
 #include "common/cli.h"
 #include "data/synthetic_gen.h"
+#include "engine/engine.h"
 #include "io/ingest.h"
 
 namespace {
@@ -68,7 +73,14 @@ int main(int argc, char** argv) {
                          "normal, exponential, discrete, or mix)\n");
     return 1;
   }
-  common::Status st = data::ValidateSyntheticGenParams(params);
+  engine::EngineConfig engine_cfg;
+  common::Status st = common::ParseEngineFlags(args, &engine_cfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  st = data::ValidateSyntheticGenParams(params);
   if (!st.ok()) {
     std::fprintf(stderr, "dataset_gen: invalid shape/scale parameters\n");
     return 1;
@@ -89,10 +101,9 @@ int main(int argc, char** argv) {
   // its n/m/source-size staleness guard).
   const std::string moments_path = args.GetString("emit-moments", "");
   if (!moments_path.empty()) {
-    const std::size_t chunk_rows =
-        static_cast<std::size_t>(args.GetInt("moment_chunk_rows", 0));
     st = io::BuildMomentSidecar(out_path, moments_path,
-                                engine::Engine::Serial(), chunk_rows);
+                                engine::Engine(engine_cfg),
+                                engine_cfg.moment_chunk_rows);
     if (!st.ok()) {
       std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
       return 1;
