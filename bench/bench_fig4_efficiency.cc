@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.h"
+#include "common/json.h"
 #include "bench_util.h"
 #include "clustering/basic_ukmeans.h"
 #include "clustering/fdbscan.h"
@@ -72,7 +72,7 @@ PhaseTimes TimeAlgorithm(const clustering::Clusterer& algo,
   return total;
 }
 
-void JsonAlgorithmRow(bench::JsonWriter* json, const std::string& group,
+void JsonAlgorithmRow(common::JsonWriter* json, const std::string& group,
                       const std::string& name, std::size_t n,
                       const PhaseTimes& t) {
   json->BeginObject();
@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
   for (auto& algo : slow_group) algo->set_engine(eng);
   for (auto& algo : fast_group) algo->set_engine(eng);
 
-  bench::JsonWriter json;
+  common::JsonWriter json;
   json.BeginObject();
   json.KV("bench", "fig4_efficiency");
   json.Key("config");

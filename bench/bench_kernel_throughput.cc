@@ -27,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.h"
+#include "common/json.h"
 #include "bench_util.h"
 #include "clustering/simd/simd.h"
 #include "common/cli.h"
@@ -277,7 +277,7 @@ int main(int argc, char** argv) {
                                    : (r.cross_check_ok ? "ok" : "DIFF"));
   }
 
-  bench::JsonWriter json;
+  common::JsonWriter json;
   json.BeginObject();
   json.KV("bench", "kernel_throughput");
   json.Key("config");

@@ -27,10 +27,20 @@
 // the full-table sweep's evaluation count (< iterations * n * (n - 1), the
 // floor of the legacy policy on a recomputing backend).
 //
+// Budgeted runs with the spatial index enabled (the default) additionally
+// gate the indexed FDBSCAN eps-sweep on a smaller separable dataset:
+//
+//   [pairwise smoke] INDEX RESULT=OK|FAIL spatial_index=.. bound_tests=..
+//
+// INDEX RESULT=OK asserts the index answered its candidate queries at
+// <= 0.2x the n * (n - 1) / 2 pair-bound floor AND that the indexed labels
+// match the index-off sweep bit-for-bit.
+//
 // Exit code: 0 for OK, 1 for FAIL, 3 for OOM.
 //
 // Flags:
 //   --n=N                      objects               (default 20000)
+//   --index_n=N                indexed-sweep objects (default 6000)
 //   --m=M                      dimensions            (default 2)
 //   --k=K                      clusters              (default 8)
 //   --max_iters=I              PAM iteration cap     (default 2)
@@ -42,6 +52,7 @@
 #include <new>
 
 #include "bench_util.h"
+#include "clustering/fdbscan.h"
 #include "clustering/ukmedoids.h"
 #include "common/cli.h"
 #include "data/benchmark_gen.h"
@@ -128,6 +139,66 @@ int Run(int argc, char** argv) {
                 static_cast<long long>(r.tile_warm_hits),
                 static_cast<long long>(r.tile_warm_misses));
     if (!tile_ok) {
+      std::printf("[pairwise smoke] RESULT=FAIL\n");
+      return 1;
+    }
+  }
+  if (config.memory_budget_bytes > 0 && config.pairwise_pruned_sweeps &&
+      config.spatial_index != "off") {
+    // Spatial-index gate: an indexed FDBSCAN eps-sweep must answer its
+    // candidate queries well below the n * (n - 1) / 2 pair-bound floor the
+    // all-pairs predicate sweep pays — the whole point of candidate-SET
+    // pruning — while reproducing the index-off labels bit-for-bit.
+    const std::size_t index_n =
+        static_cast<std::size_t>(args.GetInt("index_n", 6000));
+    // The regime a range index targets: 3-D, broad clusters (moderate local
+    // density) and localized uncertainty regions well below eps. Tight 2-D
+    // cluster cores or fat regions push the TRUE eps-neighbor count — which
+    // no exact index can undercut — toward all pairs.
+    data::MixtureParams imp;
+    imp.n = index_n;
+    imp.dims = 3;
+    imp.classes = k;
+    imp.sigma_min = 0.15;
+    imp.sigma_max = 0.25;
+    imp.min_separation = 0.4;
+    const data::DeterministicDataset id =
+        data::MakeGaussianMixture(imp, seed + 2, "pairwise-smoke-index");
+    data::UncertaintyParams iup = up;
+    iup.min_scale_frac = 0.002;
+    iup.max_scale_frac = 0.01;
+    const data::UncertainDataset ids =
+        data::UncertaintyModel(id, iup, seed + 3).Uncertain();
+    clustering::Fdbscan::Params fp;
+    fp.eps = 0.02;  // well below the class separation: most pairs prune
+    const auto sweep = [&](const char* index) {
+      engine::EngineConfig icfg = config;
+      icfg.spatial_index = index;
+      clustering::Fdbscan fdbscan(fp);
+      fdbscan.set_engine(engine::Engine(icfg));
+      return fdbscan.Cluster(ids, k, seed);
+    };
+    const clustering::ClusteringResult off = sweep("off");
+    const clustering::ClusteringResult indexed =
+        sweep(config.spatial_index.c_str());
+    const int64_t pair_floor = static_cast<int64_t>(index_n) *
+                               static_cast<int64_t>(index_n - 1) / 2;
+    const int64_t index_cost =
+        indexed.index_bound_tests + indexed.index_candidates;
+    const bool index_ok = indexed.labels == off.labels &&
+                          index_cost * 5 <= pair_floor;  // <= 0.2x the floor
+    std::printf("[pairwise smoke] INDEX RESULT=%s spatial_index=%s n=%zu "
+                "bound_tests=%lld candidates=%lld cost=%lld "
+                "pair_floor=%lld labels_match_off=%d online=%.1fms "
+                "(off=%.1fms)\n",
+                index_ok ? "OK" : "FAIL", config.spatial_index.c_str(),
+                index_n, static_cast<long long>(indexed.index_bound_tests),
+                static_cast<long long>(indexed.index_candidates),
+                static_cast<long long>(index_cost),
+                static_cast<long long>(pair_floor),
+                indexed.labels == off.labels ? 1 : 0, indexed.online_ms,
+                off.online_ms);
+    if (!index_ok) {
       std::printf("[pairwise smoke] RESULT=FAIL\n");
       return 1;
     }

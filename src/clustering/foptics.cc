@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "clustering/pairwise_store.h"
+#include "clustering/pruning.h"
+#include "clustering/spatial_index.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
@@ -61,20 +63,78 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   // parallel row sweep through the store; per-worker scratch for the
   // self-excluding copy).
   std::vector<double> core_dist(n, kUndefined);
-  engine::PerWorker<std::vector<double>> scratch(eng);
-  store.VisitAllRows([&](std::size_t i, std::span<const double> drow) {
-    std::vector<double>& row = scratch.local();
-    row.clear();
-    row.reserve(n > 0 ? n - 1 : 0);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) row.push_back(drow[j]);
-    }
+  SpatialIndexChoice index_choice = SpatialIndexChoice::kOff;
+  SpatialIndexChoiceFromString(eng.spatial_index(), &index_choice);
+  int64_t core_sweep_evals = 0;
+  if (index_choice != SpatialIndexChoice::kOff &&
+      store.backend() != PairwiseBackend::kDense && n > 1) {
+    // Indexed core distances (recompute backends only — on the dense
+    // backend the warmed table serves rows for free). For each object the
+    // rank-th smallest box-box MAX squared distance bounds the MinPts-th
+    // fuzzy distance from above, so the range query's candidate set
+    // provably contains the MinPts nearest objects, and every excluded
+    // object's distance is strictly beyond the rank-th (its box separation
+    // clears the slacked bound). nth_element over the candidate values
+    // therefore yields the bit-identical core distance while evaluating
+    // only the candidates instead of all n - 1 columns per row.
+    const SpatialIndex index(
+        data.objects(), ResolveSpatialIndexKind(index_choice, data.dims()));
     const std::size_t rank = std::min<std::size_t>(
-        static_cast<std::size_t>(params_.min_pts), row.size());
-    if (rank == 0) return;
-    std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
-    core_dist[i] = row[rank - 1];
-  });
+        static_cast<std::size_t>(params_.min_pts), n - 1);
+    struct SweepCounts {
+      int64_t evals = 0;
+      int64_t pruned = 0;
+    };
+    if (rank > 0) {
+      const std::vector<SweepCounts> per_block =
+          engine::MapBlocks<SweepCounts>(
+              eng, n, [&](const engine::BlockedRange& r) {
+                SweepCounts c;
+                std::vector<std::size_t> cand;
+                std::vector<double> vals;
+                for (std::size_t i = r.begin; i < r.end; ++i) {
+                  const uncertain::Box& region = data.object(i).region();
+                  const double u2 =
+                      index.KthMaxSquaredDistance(region, rank, i);
+                  index.QueryWithin(region, SlackedSquaredThreshold(u2), i,
+                                    &cand);
+                  vals.clear();
+                  vals.reserve(cand.size());
+                  for (const std::size_t j : cand) {
+                    vals.push_back(kernel.Eval(i, j));
+                  }
+                  c.evals += static_cast<int64_t>(vals.size());
+                  c.pruned += static_cast<int64_t>(n - 1 - vals.size());
+                  assert(vals.size() >= rank);
+                  std::nth_element(vals.begin(), vals.begin() + (rank - 1),
+                                   vals.end());
+                  core_dist[i] = vals[rank - 1];
+                }
+                return c;
+              });
+      for (const SweepCounts& c : per_block) {
+        core_sweep_evals += c.evals;
+        result.pairs_pruned_by_index += c.pruned;
+      }
+    }
+    result.index_candidates = core_sweep_evals;
+    result.index_bound_tests = index.bound_tests();
+  } else {
+    engine::PerWorker<std::vector<double>> scratch(eng);
+    store.VisitAllRows([&](std::size_t i, std::span<const double> drow) {
+      std::vector<double>& row = scratch.local();
+      row.clear();
+      row.reserve(n > 0 ? n - 1 : 0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) row.push_back(drow[j]);
+      }
+      const std::size_t rank = std::min<std::size_t>(
+          static_cast<std::size_t>(params_.min_pts), row.size());
+      if (rank == 0) return;
+      std::nth_element(row.begin(), row.begin() + (rank - 1), row.end());
+      core_dist[i] = row[rank - 1];
+    });
+  }
 
   // OPTICS walk (eps = infinity: one complete ordering).
   std::vector<double> reach(n, kUndefined);
@@ -186,10 +246,13 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   result.objective = std::numeric_limits<double>::quiet_NaN();
   result.online_ms = online.ElapsedMs();
   result.offline_ms = offline_ms;
-  result.ed_evaluations += store.ed_evaluations();
+  // The indexed core sweep evaluates the kernel outside the store; its
+  // evaluations (sample-integrated, like every SampleED call) fold into the
+  // same totals the store-driven sweep would have produced them under.
+  result.ed_evaluations += store.ed_evaluations() + core_sweep_evals;
   result.pairwise_backend = PairwiseBackendName(store.backend());
   result.table_bytes_peak = store.table_bytes_peak();
-  result.pair_evaluations = store.evaluations();
+  result.pair_evaluations = store.evaluations() + core_sweep_evals;
   result.tile_warm_hits = store.warm_hits();
   result.tile_warm_misses = store.warm_misses();
   return result;

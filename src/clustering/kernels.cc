@@ -1,5 +1,6 @@
 #include "clustering/kernels.h"
 
+#include <cassert>
 #include <limits>
 
 #include "clustering/simd/simd.h"
@@ -196,6 +197,47 @@ int64_t FillUpperRowTilePruned(const engine::Engine& eng,
             row[j] = kernel.Eval(i, j);
             ++c.evals;
           }
+        }
+        return c;
+      });
+  int64_t total = 0;
+  for (const Counts& c : per_block) {
+    total += c.evals;
+    *pruned += c.pruned;
+  }
+  return total;
+}
+
+int64_t FillUpperRowTileFromCandidates(const engine::Engine& eng,
+                                       const PairwiseKernel& kernel,
+                                       std::size_t row_begin,
+                                       std::size_t row_end, double* out,
+                                       const CandidateColumns& candidates,
+                                       const PairSkipTest& skip,
+                                       int64_t* pruned) {
+  const std::size_t n = kernel.size();
+  const std::size_t rows = row_end - row_begin;
+  struct Counts {
+    int64_t evals = 0;
+    int64_t pruned = 0;
+  };
+  const std::vector<Counts> per_block = engine::MapBlocksBlocked<Counts>(
+      eng, rows, TriangularRowBlock(eng, rows),
+      [&](const engine::BlockedRange& r) {
+        Counts c;
+        for (std::size_t t = r.begin; t < r.end; ++t) {
+          const std::size_t i = row_begin + t;
+          double* row = out + t * n;
+          std::fill(row + i + 1, row + n, 0.0);
+          int64_t row_evals = 0;
+          for (const std::size_t j : candidates(i)) {
+            assert(j > i && j < n);
+            if (skip && skip(i, j)) continue;  // stays the exact 0
+            row[j] = kernel.Eval(i, j);
+            ++row_evals;
+          }
+          c.evals += row_evals;
+          c.pruned += static_cast<int64_t>(n - i - 1) - row_evals;
         }
         return c;
       });

@@ -195,6 +195,31 @@ int64_t FillUpperRowTilePruned(const engine::Engine& eng,
                                double* out, const PairSkipTest& skip,
                                int64_t* pruned);
 
+/// Per-row candidate columns for a candidate-driven upper-triangle sweep:
+/// candidates(i) returns the ascending column indices j > i that may have a
+/// nonzero kernel value (e.g. spatial-index range-query hits). Must be pure
+/// and safe to call concurrently; the returned span must stay valid for the
+/// duration of the sweep.
+using CandidateColumns =
+    std::function<std::span<const std::size_t>(std::size_t)>;
+
+/// FillUpperRowTilePruned driven by candidate sets instead of all-pairs
+/// predicate tests: row i's upper entries are zero-initialized, and only
+/// the columns in candidates(i) are considered — evaluated unless `skip`
+/// (optional) still rules them out. The caller's contract is that every
+/// non-candidate pair's exact kernel value is provably 0, so the filled
+/// tile is bit-identical to the predicate-driven sweep whenever the
+/// candidate set is a superset of the non-skipped pairs. Returns the
+/// evaluation count; non-candidates and skipped candidates both add to
+/// *pruned (preserving evals + pruned = pairs swept).
+int64_t FillUpperRowTileFromCandidates(const engine::Engine& eng,
+                                       const PairwiseKernel& kernel,
+                                       std::size_t row_begin,
+                                       std::size_t row_end, double* out,
+                                       const CandidateColumns& candidates,
+                                       const PairSkipTest& skip,
+                                       int64_t* pruned);
+
 /// Fills an asymmetric "gather tile": full length-n rows for exactly the
 /// requested row indices, in one parallel pass. Row r of the request lands
 /// at out + r * n (or at out + out_slots[r] * n when `out_slots` is given,

@@ -552,4 +552,39 @@ void PairwiseStore::VisitUpperTriangle(const UpperVisitor& fn,
   }
 }
 
+void PairwiseStore::VisitUpperTriangleCandidates(
+    const UpperVisitor& fn, const kernels::CandidateColumns& candidates,
+    const kernels::PairSkipTest& skip) {
+  if (n_ == 0) return;
+  if (dense_ready_) {
+    const double* d = dense_.data();
+    engine::ParallelForBlocked(
+        eng_, n_, VisitRowBlock(eng_, n_), [&](const engine::BlockedRange& r) {
+          for (std::size_t i = r.begin; i < r.end; ++i) {
+            fn(i, {d + i * n_ + i + 1, n_ - i - 1});
+          }
+        });
+    return;
+  }
+  // Same streaming shape as VisitUpperTriangle, but the producer touches
+  // only the candidate columns of each ragged row.
+  const std::size_t chunk = StreamRows();
+  std::vector<double> scratch(chunk * n_);
+  for (std::size_t r0 = 0; r0 < n_; r0 += chunk) {
+    const std::size_t r1 = std::min(n_, r0 + chunk);
+    evaluations_ += kernels::FillUpperRowTileFromCandidates(
+        eng_, kernel_, r0, r1, scratch.data(), candidates, skip,
+        &pruned_pairs_);
+    NoteTableBytes(scratch.size() * sizeof(double));
+    engine::ParallelForBlocked(
+        eng_, r1 - r0, VisitRowBlock(eng_, r1 - r0),
+        [&](const engine::BlockedRange& r) {
+          for (std::size_t tr = r.begin; tr < r.end; ++tr) {
+            const std::size_t i = r0 + tr;
+            fn(i, {scratch.data() + tr * n_ + i + 1, n_ - i - 1});
+          }
+        });
+  }
+}
+
 }  // namespace uclust::clustering

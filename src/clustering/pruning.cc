@@ -75,17 +75,29 @@ PairwiseBoundIndex::PairwiseBoundIndex(
   }
 }
 
-double PairwiseBoundIndex::RadiusGap(std::size_t i, std::size_t j) const {
+double PairwiseBoundIndex::CenterSquaredDistance(std::size_t i,
+                                                 std::size_t j) const {
   double center_d2 = 0.0;
   for (std::size_t d = 0; d < dims_; ++d) {
     const double diff = centers_[i * dims_ + d] - centers_[j * dims_ + d];
     center_d2 += diff * diff;
   }
-  return std::sqrt(center_d2) - radii_[i] - radii_[j];
+  return center_d2;
+}
+
+double PairwiseBoundIndex::RadiusGap(std::size_t i, std::size_t j) const {
+  return std::sqrt(CenterSquaredDistance(i, j)) - radii_[i] - radii_[j];
 }
 
 double PairwiseBoundIndex::MinSquaredDistance(std::size_t i,
                                               std::size_t j) const {
+  if (radii_[i] == 0.0 && radii_[j] == 0.0) {
+    // Both regions are points (point-mass pdfs / zero-extent boxes): the
+    // squared center distance is the exact pair distance. The generic path
+    // would take sqrt(center_d2) and re-square it, which can exceed the
+    // true value by ulps — not a valid lower bound.
+    return CenterSquaredDistance(i, j);
+  }
   const double gap = RadiusGap(i, j);
   const double radius_bound = gap > 0.0 ? gap * gap : 0.0;
   // The box-box separation dominates the radius bound (the circumball
@@ -101,7 +113,11 @@ bool PairwiseBoundIndex::ProvablyBeyond(std::size_t i, std::size_t j,
   // rounding of the samplers' inverse CDFs, and computed sample distances
   // round too; requiring the bound to clear eps^2 by a margin far above
   // ulp-level noise keeps "provably" honest in floating point.
-  const double threshold = eps * eps * (1.0 + 1e-9) + 1e-300;
+  const double threshold = SlackedSquaredThreshold(eps * eps);
+  if (radii_[i] == 0.0 && radii_[j] == 0.0) {
+    // Point-mass pair: decide on the exact squared center distance.
+    return CenterSquaredDistance(i, j) > threshold;
+  }
   // Cheap-first: the center-distance-minus-radii test alone often decides;
   // the exact box-box separation is consulted only when it does not.
   const double gap = RadiusGap(i, j);

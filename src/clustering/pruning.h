@@ -57,6 +57,19 @@ inline EdBounds TightestOf(const EdBounds& a, const EdBounds& b) {
   return {a.lb > b.lb ? a.lb : b.lb, a.ub < b.ub ? a.ub : b.ub};
 }
 
+/// The slacked squared threshold shared by every "provably beyond" test
+/// (ProvablyBeyond, the spatial-index candidate queries): a computed
+/// squared-distance lower bound exceeding SlackedSquaredThreshold(d2)
+/// proves the true distance exceeds sqrt(d2) even under floating-point
+/// rounding of bounds, samplers, and sample distances — the relative slack
+/// sits far above ulp-level noise, the absolute term covers d2 == 0.
+/// Conversely every pair whose true distance could be within sqrt(d2) has
+/// a computed lower bound at or below it, which is what makes index
+/// candidate sets supersets of the non-pruned pairs.
+inline double SlackedSquaredThreshold(double d2) {
+  return d2 * (1.0 + 1e-9) + 1e-300;
+}
+
 /// Removes from `candidates` every centroid b dominated by another candidate
 /// a, i.e. `box` lies entirely in a's bisector half-space. `centroids` is a
 /// flat k x m array; `candidates` holds centroid indices.
@@ -81,7 +94,10 @@ class PairwiseBoundIndex {
   /// Lower bound on the squared distance between ANY realization pair of
   /// objects i and j (0 when the regions overlap). Cheap-first: the
   /// center-distance-minus-radii bound, tightened by the exact box-box
-  /// separation when the radius test alone cannot decide.
+  /// separation when the radius test alone cannot decide. When both regions
+  /// are degenerate (zero-extent boxes — point-mass pdfs), the bound is the
+  /// exact squared center distance: the sqrt/re-square round trip of the
+  /// radius bound is skipped, as it can overshoot the true value by ulps.
   double MinSquaredDistance(std::size_t i, std::size_t j) const;
 
   /// True when every realization pair of (i, j) is provably farther apart
@@ -92,6 +108,8 @@ class PairwiseBoundIndex {
   bool ProvablyBeyond(std::size_t i, std::size_t j, double eps) const;
 
  private:
+  /// Exact sum of squared center differences (no sqrt involved).
+  double CenterSquaredDistance(std::size_t i, std::size_t j) const;
   /// Center distance minus both circumradii — the shared radius-bound core
   /// of MinSquaredDistance and ProvablyBeyond (may be negative).
   double RadiusGap(std::size_t i, std::size_t j) const;

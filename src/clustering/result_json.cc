@@ -54,6 +54,9 @@ void AppendResultJson(common::JsonWriter* json, const ClusteringResult& r,
   json->KV("pairs_pruned", r.pairs_pruned);
   json->KV("center_distance_evals", r.center_distance_evals);
   json->KV("bounds_skipped", r.bounds_skipped);
+  json->KV("index_candidates", r.index_candidates);
+  json->KV("pairs_pruned_by_index", r.pairs_pruned_by_index);
+  json->KV("index_bound_tests", r.index_bound_tests);
   if (include_labels) {
     json->Key("labels");
     json->BeginArray();

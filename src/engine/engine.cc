@@ -50,6 +50,7 @@ Engine::Engine(const EngineConfig& config) {
   ukmeans_ckmeans_reduction_ = config.ukmeans_ckmeans_reduction;
   ukmeans_bound_pruning_ = config.ukmeans_bound_pruning;
   ukmeans_minibatch_size_ = config.ukmeans_minibatch_size;
+  spatial_index_ = config.spatial_index;
   ApplySimdIsa(config.simd_isa);
   int threads = config.num_threads;
   if (threads == 0) {
@@ -148,6 +149,14 @@ common::Status ApplyEngineKnob(const std::string& key,
           "got '" + value + "'");
     }
     cfg->simd_isa = value;
+  } else if (key == "spatial_index") {
+    if (value != "auto" && value != "rtree" && value != "grid" &&
+        value != "off") {
+      return common::Status::InvalidArgument(
+          "engine knob 'spatial_index': expected auto, rtree, grid, or off, "
+          "got '" + value + "'");
+    }
+    cfg->spatial_index = value;
   } else {
     return common::Status::InvalidArgument("unknown engine knob '" + key +
                                            "'");
@@ -169,6 +178,7 @@ const std::vector<std::string>& EngineKnobNames() {
       "ukmeans_bound_pruning",
       "ukmeans_minibatch_size",
       "simd_isa",
+      "spatial_index",
   };
   return *names;
 }

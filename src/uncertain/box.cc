@@ -75,6 +75,20 @@ double Box::MaxSquaredDistanceTo(std::span<const double> point) const {
   return acc;
 }
 
+double Box::MaxSquaredDistanceTo(const Box& other) const {
+  assert(other.dims() == dims());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dims(); ++j) {
+    // The farthest pair of interval points is an endpoint pair: either this
+    // lower against the other upper, or this upper against the other lower.
+    const double dlo = std::fabs(lower_[j] - other.upper_[j]);
+    const double dhi = std::fabs(upper_[j] - other.lower_[j]);
+    const double d = std::max(dlo, dhi);
+    acc += d * d;
+  }
+  return acc;
+}
+
 Box Box::BoundingUnion(const Box& a, const Box& b) {
   assert(a.dims() == b.dims());
   std::vector<double> lo(a.dims());

@@ -38,6 +38,12 @@ class Box {
   /// Largest squared Euclidean distance from `point` to any box point.
   /// Used by MinMax-BB upper bounds.
   double MaxSquaredDistanceTo(std::span<const double> point) const;
+  /// Largest squared Euclidean distance between any point of this box and
+  /// any point of `other`: an upper bound on the distance between two
+  /// uncertain objects' realizations. Together with the min bound this
+  /// brackets every realization distance, which is what the spatial-index
+  /// rank and nearest-candidate queries build on.
+  double MaxSquaredDistanceTo(const Box& other) const;
 
   /// Smallest bounding box containing both boxes (the MMVar mixture region
   /// union is represented by its bounding box).

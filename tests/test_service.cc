@@ -432,6 +432,9 @@ TEST(ResultJson, MatchesGoldenFile) {
   r.pairs_pruned = 7;
   r.center_distance_evals = 288;
   r.bounds_skipped = 96;
+  r.index_candidates = 18;
+  r.pairs_pruned_by_index = 10;
+  r.index_bound_tests = 42;
 
   const std::string golden_path =
       std::string(UCLUST_GOLDEN_DIR) + "/clustering_result.json";

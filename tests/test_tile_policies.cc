@@ -19,6 +19,7 @@
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
 #include "uncertain/sample_cache.h"
+#include "uncertain/uniform_pdf.h"
 
 namespace uclust::clustering {
 namespace {
@@ -282,6 +283,121 @@ TEST(TilePolicies, FdbscanPrunedSweepBitIdenticalWithFewerEvaluations) {
         static_cast<int64_t>(n) * static_cast<int64_t>(n - 1) / 2;
     EXPECT_EQ(plain.pair_evaluations, all_pairs);
     EXPECT_EQ(pruned.pair_evaluations + pruned.pairs_pruned, all_pairs);
+  }
+}
+
+// Zero-radius (Dirac) and degenerate-box pairs: the bound must be the EXACT
+// squared center distance — the sqrt/re-square round trip of the radius
+// bound can overshoot by ulps and would turn a valid lower bound into an
+// invalid one at the eps boundary.
+TEST(TilePolicies, PairwiseBoundIndexExactOnZeroRadiusPairs) {
+  // Coordinates chosen so sqrt(d2) is irrational: the round trip through
+  // sqrt is where the historical overshoot lived.
+  const std::vector<std::vector<double>> points = {
+      {0.1, 0.2}, {0.4, 0.7}, {-0.3, 0.55}, {0.1, 0.2}};
+  std::vector<uncertain::UncertainObject> objects;
+  for (const auto& p : points) {
+    objects.push_back(uncertain::UncertainObject::Deterministic(p));
+  }
+  const PairwiseBoundIndex bounds(objects);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    for (std::size_t j = i + 1; j < objects.size(); ++j) {
+      double d2 = 0.0;
+      for (std::size_t m = 0; m < points[i].size(); ++m) {
+        const double diff = points[i][m] - points[j][m];
+        d2 += diff * diff;
+      }
+      EXPECT_EQ(bounds.MinSquaredDistance(i, j), d2) << i << "," << j;
+      // ProvablyBeyond decides on the exact center distance: beyond for any
+      // eps below the true distance, not beyond at or above it.
+      const double dist = std::sqrt(d2);
+      if (d2 > 0.0) {
+        EXPECT_TRUE(bounds.ProvablyBeyond(i, j, dist * 0.999999));
+      }
+      EXPECT_FALSE(bounds.ProvablyBeyond(i, j, dist));
+      EXPECT_FALSE(bounds.ProvablyBeyond(i, j, dist * 1.000001));
+    }
+  }
+  // The coincident Dirac pair: exact zero, never provably beyond.
+  EXPECT_EQ(bounds.MinSquaredDistance(0, 3), 0.0);
+  EXPECT_FALSE(bounds.ProvablyBeyond(0, 3, 0.0));
+}
+
+// A mixed pair (one degenerate box, one fat box) must stay a valid lower
+// bound and agree with the exact box-box separation.
+TEST(TilePolicies, PairwiseBoundIndexMixedDegeneratePairs) {
+  std::vector<uncertain::UncertainObject> objects;
+  objects.push_back(
+      uncertain::UncertainObject::Deterministic(std::vector<double>{0.0, 0.0}));
+  std::vector<uncertain::PdfPtr> dims;
+  dims.push_back(uncertain::UniformPdf::Centered(1.0, 0.25));
+  dims.push_back(uncertain::UniformPdf::Centered(0.0, 0.25));
+  objects.emplace_back(std::move(dims));
+  const PairwiseBoundIndex bounds(objects);
+  const double exact =
+      objects[0].region().MinSquaredDistanceTo(objects[1].region());
+  const double lb = bounds.MinSquaredDistance(0, 1);
+  EXPECT_LE(lb, exact);   // a lower bound on any realization distance
+  EXPECT_GE(lb, exact * (1.0 - 1e-12));  // and a tight one: the box bound
+  // Inside overlap there is nothing to prove.
+  EXPECT_FALSE(bounds.ProvablyBeyond(0, 1, std::sqrt(exact) * 1.01));
+  EXPECT_TRUE(bounds.ProvablyBeyond(0, 1, std::sqrt(exact) * 0.9));
+}
+
+// The indexed FDBSCAN sweep composes "index narrows, predicate filters":
+// whichever structure narrows the candidate set, the evaluated pairs — and
+// with them the labels and both pruning counters — must be bit-identical to
+// the all-pairs predicate sweep, with only the bound-test count dropping.
+TEST(TilePolicies, FdbscanIndexedSweepCounterIdentical) {
+  const auto ds = TestDataset(150, 2, 3, 113, /*min_separation=*/0.45);
+  const std::size_t n = ds.size();
+
+  Fdbscan::Params fp;
+  fp.eps = 0.08;
+  const auto run = [&](std::size_t budget, const std::string& index) {
+    engine::EngineConfig config;
+    config.num_threads = 1;
+    config.block_size = 32;
+    config.memory_budget_bytes = budget;
+    config.pairwise_gather_tiles = true;
+    config.pairwise_warm_rows = true;
+    config.pairwise_pruned_sweeps = true;
+    config.spatial_index = index;
+    Fdbscan algo(fp);
+    algo.set_engine(engine::Engine(config));
+    return algo.Cluster(ds, 3, 17);
+  };
+
+  const std::size_t row_bytes = n * sizeof(double);
+  const int64_t all_pairs =
+      static_cast<int64_t>(n) * static_cast<int64_t>(n - 1) / 2;
+  for (const std::size_t budget : {std::size_t{0}, 10 * row_bytes}) {
+    const ClusteringResult off = run(budget, "off");
+    EXPECT_EQ(off.index_candidates, 0);
+    EXPECT_EQ(off.index_bound_tests, 0);
+    for (const char* index : {"rtree", "grid", "auto"}) {
+      const ClusteringResult indexed = run(budget, index);
+      EXPECT_EQ(indexed.labels, off.labels)
+          << index << " budget=" << budget;
+      EXPECT_EQ(indexed.clusters_found, off.clusters_found) << index;
+      EXPECT_EQ(indexed.noise_objects, off.noise_objects) << index;
+      // The exact counter identity: same pairs evaluated, same pairs
+      // predicate-pruned, every pair accounted for.
+      EXPECT_EQ(indexed.pair_evaluations, off.pair_evaluations) << index;
+      EXPECT_EQ(indexed.pairs_pruned, off.pairs_pruned) << index;
+      EXPECT_EQ(indexed.ed_evaluations, off.ed_evaluations) << index;
+      EXPECT_EQ(indexed.pair_evaluations + indexed.pairs_pruned, all_pairs)
+          << index << " budget=" << budget;
+      EXPECT_EQ(indexed.index_candidates + indexed.pairs_pruned_by_index,
+                all_pairs)
+          << index << " budget=" << budget;
+      // The index did real narrowing on this separable dataset. (The
+      // bound-cost advantage over the n*(n-1)/2 floor only materializes at
+      // scale — bench_pairwise_smoke gates it at CI size.)
+      EXPECT_GT(indexed.pairs_pruned_by_index, 0) << index;
+      EXPECT_GT(indexed.index_candidates, 0) << index;
+      EXPECT_GT(indexed.index_bound_tests, 0) << index;
+    }
   }
 }
 
