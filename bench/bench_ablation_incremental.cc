@@ -13,7 +13,7 @@
 #include "data/uncertainty_model.h"
 #include "uncertain/expected_distance.h"
 #include "uncertain/moments.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 
 namespace {
 
@@ -104,7 +104,8 @@ void BM_SampledExpectedDistance(benchmark::State& state) {
     }
     objs.emplace_back(std::move(dims));
   }
-  const uncertain::SampleCache cache(objs, samples, 7);
+  const uncertain::ResidentSampleStore store(objs, samples, 7);
+  const uncertain::SampleView cache = store.view();
   const std::vector<double> y(m, 0.25);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.ExpectedSquaredDistanceToPoint(0, y));

@@ -9,7 +9,8 @@
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
-#include "uncertain/sample_cache.h"
+#include "io/sample_file.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 
@@ -44,8 +45,9 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
   // the pdfs) and collect the regions. Excluded from the online time, as in
   // the paper's efficiency protocol.
   common::Stopwatch offline;
-  const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed, eng);
+  const uncertain::SampleStorePtr store = io::MakeSampleStoreOrResident(
+      data, params_.samples, params_.sample_seed, eng);
+  const uncertain::SampleView samples = store->view();
   const uncertain::MomentView mm = data.moments().view();
   const double offline_ms = offline.ElapsedMs();
 
@@ -148,7 +150,7 @@ ClusteringResult BasicUkmeans::Cluster(const data::UncertainDataset& data,
               double best_ed = std::numeric_limits<double>::infinity();
               for (int c : sc.candidates) {
                 const double ed =
-                    cache.ExpectedSquaredDistanceToPoint(i, centroid(c));
+                    samples.ExpectedSquaredDistanceToPoint(i, centroid(c));
                 ++bs.ed_evaluations;
                 if (use_shift) {
                   const std::size_t idx = i * static_cast<std::size_t>(k) +

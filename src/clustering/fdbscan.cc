@@ -11,7 +11,8 @@
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
-#include "uncertain/sample_cache.h"
+#include "io/sample_file.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 
@@ -86,10 +87,11 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
   ClusteringResult result;
   result.k_requested = 0;
 
-  // Offline: sample cache (the fuzzy-distance machinery's numeric basis).
+  // Offline: sample store (the fuzzy-distance machinery's numeric basis;
+  // resident or mapped, per the memory budget).
   common::Stopwatch offline;
-  const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed, eng);
+  const uncertain::SampleStorePtr samples = io::MakeSampleStoreOrResident(
+      data, params_.samples, params_.sample_seed, eng);
   const double offline_ms = offline.ElapsedMs();
 
   common::Stopwatch online;
@@ -106,7 +108,8 @@ ClusteringResult Fdbscan::Cluster(const data::UncertainDataset& data,
   // distance probability is exactly the 0 the kernel would have produced —
   // labels stay bit-identical, only the evaluation count drops.
   PairwiseStore store(
-      eng, kernels::PairwiseKernel::DistanceProbability(cache, eps));
+      eng,
+      kernels::PairwiseKernel::DistanceProbability(samples->view(), eps));
   std::vector<std::vector<std::pair<std::size_t, double>>> upper(n);
   const auto sweep = [&](std::size_t i, std::span<const double> tail) {
     for (std::size_t t = 0; t < tail.size(); ++t) {

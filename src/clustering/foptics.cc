@@ -11,7 +11,8 @@
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
-#include "uncertain/sample_cache.h"
+#include "io/sample_file.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 
@@ -46,14 +47,14 @@ ClusteringResult Foptics::Cluster(const data::UncertainDataset& data, int k,
   ClusteringResult result;
   result.k_requested = k;
 
-  // Offline: sample cache + the pairwise fuzzy-distance store (the dense
-  // backend builds the classic full table here; budgeted backends recompute
-  // rows during the sweeps below).
+  // Offline: sample store (resident or mapped, per the memory budget) + the
+  // pairwise fuzzy-distance store (the dense backend builds the classic full
+  // table here; budgeted backends recompute rows during the sweeps below).
   common::Stopwatch offline;
-  const uncertain::SampleCache cache(data.objects(), params_.samples,
-                                     params_.sample_seed, eng);
+  const uncertain::SampleStorePtr samples = io::MakeSampleStoreOrResident(
+      data, params_.samples, params_.sample_seed, eng);
   const kernels::PairwiseKernel kernel =
-      kernels::PairwiseKernel::SampleED(cache);
+      kernels::PairwiseKernel::SampleED(samples->view());
   PairwiseStore store(eng, kernel);
   store.Warm();
   const double offline_ms = offline.ElapsedMs();

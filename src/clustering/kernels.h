@@ -2,7 +2,7 @@
 //
 // The nearest-centroid / expected-distance inner loops used to be duplicated
 // across ukmeans.cc, basic_ukmeans.cc, and pruning call sites; they live
-// here once, formulated over MomentView / SampleCache blocks and
+// here once, formulated over MomentView / SampleView blocks and
 // dispatched through the execution engine. Every kernel is bit-identical
 // for any Engine thread count (fixed block partition + ordered reduction;
 // see engine/parallel_for.h).
@@ -34,7 +34,7 @@
 #include "engine/parallel_for.h"
 #include "uncertain/expected_distance.h"
 #include "uncertain/moments.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 #include "uncertain/uncertain_object.h"
 
 namespace uclust::clustering::kernels {
@@ -73,7 +73,13 @@ double AssignmentObjective(const engine::Engine& eng,
 /// the closed-form expected squared distance ED^ (Lemma 3), the matched-pair
 /// sample estimate of ED^ (optionally under a square root, the FOPTICS fuzzy
 /// distance), and the FDBSCAN distance probability Pr[dist <= eps].
-/// The referenced objects / sample cache must outlive the kernel.
+/// The referenced objects / sample-view backing store must outlive the
+/// kernel. The sampled kinds read through uncertain::SampleView, so both
+/// the Resident and the Mapped (out-of-core .usmp) SampleStore backends
+/// serve them — with bit-identical values, since the bytes behind the view
+/// are identical by the sample-store contract. Each sampled evaluation
+/// holds exactly two object rows at once, within the chunked view's
+/// span-validity window.
 struct PairwiseKernel {
   enum class Kind {
     kClosedFormED2,        ///< ED^ from moments (Lemma 3); no integration.
@@ -90,33 +96,33 @@ struct PairwiseKernel {
     k.objects = objects;
     return k;
   }
-  /// Matched-pair sample estimate of ED^ over a cache.
-  static PairwiseKernel SampleED2(const uncertain::SampleCache& cache) {
+  /// Matched-pair sample estimate of ED^ over a sample view.
+  static PairwiseKernel SampleED2(const uncertain::SampleView& view) {
     PairwiseKernel k;
     k.kind = Kind::kSampleED2;
-    k.cache = &cache;
+    k.samples = view;
     return k;
   }
   /// sqrt of the sampled ED^ (the FOPTICS fuzzy distance).
-  static PairwiseKernel SampleED(const uncertain::SampleCache& cache) {
+  static PairwiseKernel SampleED(const uncertain::SampleView& view) {
     PairwiseKernel k;
     k.kind = Kind::kSampleED;
-    k.cache = &cache;
+    k.samples = view;
     return k;
   }
   /// FDBSCAN distance probability at radius `eps`.
-  static PairwiseKernel DistanceProbability(
-      const uncertain::SampleCache& cache, double eps) {
+  static PairwiseKernel DistanceProbability(const uncertain::SampleView& view,
+                                            double eps) {
     PairwiseKernel k;
     k.kind = Kind::kDistanceProbability;
-    k.cache = &cache;
+    k.samples = view;
     k.eps = eps;
     return k;
   }
 
   /// Number of objects the kernel is defined over.
   std::size_t size() const {
-    return kind == Kind::kClosedFormED2 ? objects.size() : cache->size();
+    return kind == Kind::kClosedFormED2 ? objects.size() : samples.size();
   }
 
   /// True when an evaluation is a sample-integrated ED computation (the
@@ -134,24 +140,30 @@ struct PairwiseKernel {
         return uncertain::ExpectedSquaredDistance(objects[lo], objects[hi]);
       case Kind::kSampleED2:
       case Kind::kSampleED: {
-        const int s_count = cache->samples_per_object();
+        // Fetch each object's row once (two chunk lookups per pair, not two
+        // per sample) and walk matched realizations within the spans.
+        const std::span<const double> a = samples.ObjectSamples(lo);
+        const std::span<const double> b = samples.ObjectSamples(hi);
+        const int s_count = samples.samples_per_object();
+        const std::size_t m = samples.dims();
         double acc = 0.0;
         for (int s = 0; s < s_count; ++s) {
-          acc += common::SquaredDistance(cache->SampleOf(lo, s),
-                                         cache->SampleOf(hi, s));
+          const std::size_t off = static_cast<std::size_t>(s) * m;
+          acc += common::SquaredDistance(a.subspan(off, m),
+                                         b.subspan(off, m));
         }
         const double ed = acc / s_count;
         return kind == Kind::kSampleED ? std::sqrt(ed) : ed;
       }
       case Kind::kDistanceProbability:
-        return cache->DistanceProbability(lo, hi, eps);
+        return samples.DistanceProbability(lo, hi, eps);
     }
     return 0.0;  // unreachable
   }
 
   Kind kind = Kind::kClosedFormED2;
   std::span<const uncertain::UncertainObject> objects{};
-  const uncertain::SampleCache* cache = nullptr;
+  uncertain::SampleView samples{};
   double eps = 0.0;
 };
 

@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <limits>
-#include <optional>
 
 #include "clustering/init.h"
 #include "clustering/pairwise_store.h"
@@ -10,7 +9,8 @@
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
 #include "engine/parallel_for.h"
-#include "uncertain/sample_cache.h"
+#include "io/sample_file.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 
@@ -28,14 +28,15 @@ ClusteringResult UkMedoids::Cluster(const data::UncertainDataset& data, int k,
   // classic full table here; the budgeted backends defer (re)computation to
   // the per-iteration sweeps below.
   common::Stopwatch offline;
-  std::optional<uncertain::SampleCache> cache;
+  uncertain::SampleStorePtr samples;
   if (!params_.use_closed_form) {
-    cache.emplace(data.objects(), params_.samples, params_.sample_seed, eng);
+    samples = io::MakeSampleStoreOrResident(data, params_.samples,
+                                            params_.sample_seed, eng);
   }
   const kernels::PairwiseKernel kernel =
       params_.use_closed_form
           ? kernels::PairwiseKernel::ClosedFormED2(data.objects())
-          : kernels::PairwiseKernel::SampleED2(*cache);
+          : kernels::PairwiseKernel::SampleED2(samples->view());
   PairwiseStore store(eng, kernel);
   store.Warm();
   result.offline_ms = offline.ElapsedMs();

@@ -89,11 +89,29 @@ class UncertainDataset {
   /// Uniform subsample without replacement of at most `max_n` objects.
   UncertainDataset Subsampled(std::size_t max_n, uint64_t seed) const;
 
+  /// Annotations linking a resident dataset back to its on-disk artifacts.
+  /// `source_path` is the .ubin file the objects were read from (set by
+  /// io::ReadUncertainDataset; empty for purely in-memory data) — it keys
+  /// the default .usmp sidecar location and its staleness guard.
+  /// `samples_sidecar_path` pins a specific .usmp sidecar (set from the
+  /// service dataset registry). Neither annotation survives Subsampled():
+  /// a subsample is a different object set than the file's.
+  void set_source_path(std::string path) { source_path_ = std::move(path); }
+  const std::string& source_path() const { return source_path_; }
+  void set_samples_sidecar_path(std::string path) {
+    samples_sidecar_path_ = std::move(path);
+  }
+  const std::string& samples_sidecar_path() const {
+    return samples_sidecar_path_;
+  }
+
  private:
   std::string name_;
   std::vector<uncertain::UncertainObject> objects_;
   std::vector<int> labels_;
   int num_classes_ = 0;
+  std::string source_path_;
+  std::string samples_sidecar_path_;
   mutable uncertain::MomentMatrix moments_;  // lazily packed
   mutable bool moments_ready_ = false;
 };

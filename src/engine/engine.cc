@@ -44,6 +44,7 @@ Engine::Engine(const EngineConfig& config) {
   block_size_ = std::max<std::size_t>(config.block_size, 1);
   memory_budget_bytes_ = config.memory_budget_bytes;
   moment_chunk_rows_ = config.moment_chunk_rows;
+  sample_chunk_rows_ = config.sample_chunk_rows;
   pairwise_gather_tiles_ = config.pairwise_gather_tiles;
   pairwise_warm_rows_ = config.pairwise_warm_rows;
   pairwise_pruned_sweeps_ = config.pairwise_pruned_sweeps;
@@ -123,6 +124,9 @@ common::Status ApplyEngineKnob(const std::string& key,
   } else if (key == "moment_chunk_rows") {
     UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
     cfg->moment_chunk_rows = static_cast<std::size_t>(n);
+  } else if (key == "sample_chunk_rows") {
+    UCLUST_RETURN_NOT_OK(ParseKnobInt(key, value, 0, &n));
+    cfg->sample_chunk_rows = static_cast<std::size_t>(n);
   } else if (key == "pairwise_gather_tiles") {
     UCLUST_RETURN_NOT_OK(ParseKnobBool(key, value, &b));
     cfg->pairwise_gather_tiles = b;
@@ -171,6 +175,7 @@ const std::vector<std::string>& EngineKnobNames() {
       "memory_budget_mb",
       "memory_budget_bytes",
       "moment_chunk_rows",
+      "sample_chunk_rows",
       "pairwise_gather_tiles",
       "pairwise_warm_rows",
       "pairwise_pruned_sweeps",

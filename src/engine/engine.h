@@ -51,6 +51,12 @@ struct EngineConfig {
   /// (io::kDefaultMomentChunkRows, 4096). Changes chunk/prefetch
   /// granularity and the span-validity window, never the served values.
   std::size_t moment_chunk_rows = 0;
+  /// Objects per chunk of a Mapped sample store (io::MappedSampleStore).
+  /// Rounded up to a power of two by consumers; 0 = a budget-derived size,
+  /// then the format default (io::kDefaultSampleChunkRows, 512). Changes
+  /// chunk/prefetch granularity and the span-validity window, never the
+  /// served sample bytes.
+  std::size_t sample_chunk_rows = 0;
   /// Workload-aware PairwiseStore tile policies. All three are pure
   /// recompute/memory optimizations: clusterings are bit-identical with any
   /// combination of them, on every backend, at any thread count.
@@ -132,6 +138,8 @@ class Engine {
   std::size_t memory_budget_bytes() const { return memory_budget_bytes_; }
   /// Mapped moment-store chunk-rows hint (0 = format default).
   std::size_t moment_chunk_rows() const { return moment_chunk_rows_; }
+  /// Mapped sample-store chunk-rows hint (0 = budget-derived/default).
+  std::size_t sample_chunk_rows() const { return sample_chunk_rows_; }
   /// Asymmetric gather-tile policy for PairwiseStore consumers.
   bool pairwise_gather_tiles() const { return pairwise_gather_tiles_; }
   /// Iteration-scoped warm-row reuse policy for PairwiseStore.
@@ -160,6 +168,7 @@ class Engine {
   std::size_t block_size_ = 1024;
   std::size_t memory_budget_bytes_ = 0;
   std::size_t moment_chunk_rows_ = 0;
+  std::size_t sample_chunk_rows_ = 0;
   bool pairwise_gather_tiles_ = true;
   bool pairwise_warm_rows_ = true;
   bool pairwise_pruned_sweeps_ = true;
@@ -181,6 +190,7 @@ class Engine {
 ///   memory_budget_bytes       int >= 0 (0 = unlimited)
 ///   memory_budget_mb          convenience form; sets the bytes field
 ///   moment_chunk_rows         int >= 0 (0 = format default)
+///   sample_chunk_rows         int >= 0 (0 = budget-derived/default)
 ///   pairwise_gather_tiles     bool (true/1/yes | false/0/no)
 ///   pairwise_warm_rows        bool
 ///   pairwise_pruned_sweeps    bool

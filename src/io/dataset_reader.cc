@@ -282,8 +282,12 @@ common::Result<data::UncertainDataset> ReadUncertainDataset(
   }
   std::vector<int> labels;
   UCLUST_RETURN_NOT_OK(reader.ReadLabels(&labels));
-  return data::UncertainDataset(reader.name(), std::move(objects),
-                                std::move(labels), reader.num_classes());
+  data::UncertainDataset ds(reader.name(), std::move(objects),
+                            std::move(labels), reader.num_classes());
+  // Annotate provenance: the sample-store factory keys its sidecar reuse
+  // guard (and the default sidecar location) off the source file.
+  ds.set_source_path(path);
+  return ds;
 }
 
 }  // namespace uclust::io

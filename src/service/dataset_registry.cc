@@ -7,19 +7,28 @@
 
 namespace uclust::service {
 
+namespace {
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
 common::Result<DatasetInfo> DatasetRegistry::Register(
-    const std::string& path, const std::string& moments_path) {
+    const std::string& path, const std::string& moments_path,
+    const std::string& samples_path) {
   if (path.empty()) {
     return common::Status::InvalidArgument("registry: dataset path is empty");
   }
-  if (!moments_path.empty()) {
-    constexpr std::string_view kExt = ".umom";
-    if (moments_path.size() < kExt.size() ||
-        moments_path.compare(moments_path.size() - kExt.size(), kExt.size(),
-                             kExt) != 0) {
-      return common::Status::InvalidArgument(
-          "registry: moments path must end in .umom: " + moments_path);
-    }
+  if (!moments_path.empty() && !HasSuffix(moments_path, ".umom")) {
+    return common::Status::InvalidArgument(
+        "registry: moments path must end in .umom: " + moments_path);
+  }
+  if (!samples_path.empty() && !HasSuffix(samples_path, ".usmp")) {
+    return common::Status::InvalidArgument(
+        "registry: samples path must end in .usmp: " + samples_path);
   }
 
   // Validate the header before taking the lock — Open() touches the disk.
@@ -30,6 +39,7 @@ common::Result<DatasetInfo> DatasetRegistry::Register(
   for (DatasetInfo& existing : datasets_) {
     if (existing.path == path) {
       if (!moments_path.empty()) existing.moments_path = moments_path;
+      if (!samples_path.empty()) existing.samples_path = samples_path;
       return existing;
     }
   }
@@ -43,6 +53,7 @@ common::Result<DatasetInfo> DatasetRegistry::Register(
   info.has_labels = reader.has_labels();
   info.file_bytes = reader.file_bytes();
   info.moments_path = moments_path;
+  info.samples_path = samples_path;
   datasets_.push_back(info);
   LogEvent("dataset_registered", {{"dataset", info.id},
                                   {"path", info.path},

@@ -5,10 +5,13 @@
 // stable id ("ds-1", "ds-2", ...) that job specs reference. Re-registering
 // the same canonical path returns the existing id rather than a duplicate.
 //
-// A registration may also carry a `.umom` moment sidecar path; jobs that
-// stream moments pass it through io::MomentStoreOptions::sidecar_path, so
-// the PR-4 staleness guard (n, m, byte size, mtime, content probe) decides
-// reuse-vs-rebuild exactly as the CLI tools do.
+// A registration may also carry a `.umom` moment sidecar path and/or a
+// `.usmp` sample sidecar path; jobs that stream moments pass the former
+// through io::MomentStoreOptions::sidecar_path, and sampled jobs pass the
+// latter through the dataset's samples annotation into io::MakeSampleStore —
+// so the staleness guards (n, m, byte size, mtime, content probe; plus
+// samples-per-object and seed for samples) decide reuse-vs-rebuild exactly
+// as the CLI tools do.
 #ifndef UCLUST_SERVICE_DATASET_REGISTRY_H_
 #define UCLUST_SERVICE_DATASET_REGISTRY_H_
 
@@ -32,6 +35,7 @@ struct DatasetInfo {
   bool has_labels = false;
   std::uint64_t file_bytes = 0;
   std::string moments_path;  // optional .umom sidecar ("" = none)
+  std::string samples_path;  // optional .usmp sidecar ("" = none)
 };
 
 /// Thread-safe id -> DatasetInfo catalog. Ids are process-lifetime stable;
@@ -40,12 +44,13 @@ struct DatasetInfo {
 class DatasetRegistry {
  public:
   /// Validates `path`'s header and registers it. `moments_path` (optional)
-  /// must end in ".umom" if given; it is recorded, not opened — the
-  /// sidecar guard runs when a job actually streams moments. Registering
-  /// an already-registered path updates moments_path and returns the
-  /// existing entry.
+  /// must end in ".umom" and `samples_path` (optional) in ".usmp" if given;
+  /// both are recorded, not opened — the sidecar guards run when a job
+  /// actually streams them. Registering an already-registered path updates
+  /// the given sidecar paths and returns the existing entry.
   common::Result<DatasetInfo> Register(const std::string& path,
-                                       const std::string& moments_path = "");
+                                       const std::string& moments_path = "",
+                                       const std::string& samples_path = "");
 
   /// Looks up an id. kNotFound with the id echoed when absent.
   common::Result<DatasetInfo> Get(const std::string& id) const;

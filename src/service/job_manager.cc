@@ -38,13 +38,19 @@ common::Result<clustering::ClusteringResult> RunClusteringJob(
     return clustering::CkMeans::ClusterFile(dataset.path, spec.k, spec.seed,
                                             params, eng);
   }
-  common::Result<data::UncertainDataset> ds =
+  common::Result<data::UncertainDataset> read =
       io::ReadUncertainDataset(dataset.path);
-  if (!ds.ok()) return ds.status();
+  if (!read.ok()) return read.status();
+  data::UncertainDataset ds = std::move(read).ValueOrDie();
+  // Sampled algorithms route their draws through io::MakeSampleStore; the
+  // registered .usmp sidecar (if any) rides along as a dataset annotation.
+  if (!dataset.samples_path.empty()) {
+    ds.set_samples_sidecar_path(dataset.samples_path);
+  }
   common::Result<std::unique_ptr<clustering::Clusterer>> clusterer =
       clustering::MakeClusterer(spec.algorithm, eng);
   if (!clusterer.ok()) return clusterer.status();
-  return clusterer.ValueOrDie()->Cluster(ds.ValueOrDie(), spec.k, spec.seed);
+  return clusterer.ValueOrDie()->Cluster(ds, spec.k, spec.seed);
 }
 
 }  // namespace

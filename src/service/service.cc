@@ -51,6 +51,7 @@ void AppendDatasetJson(common::JsonWriter* w, const DatasetInfo& info) {
   w->KV("has_labels", info.has_labels);
   w->KV("file_bytes", static_cast<int64_t>(info.file_bytes));
   w->KV("moments_path", info.moments_path);
+  w->KV("samples_path", info.samples_path);
   w->EndObject();
 }
 
@@ -182,8 +183,13 @@ HttpResponse ClusteringService::HandleDatasets(const HttpRequest& req,
     if (moments != nullptr && !moments->is_string()) {
       return ErrorResponse(400, "datasets: \"moments_path\" must be a string");
     }
+    const common::JsonValue* samples = root.Find("samples_path");
+    if (samples != nullptr && !samples->is_string()) {
+      return ErrorResponse(400, "datasets: \"samples_path\" must be a string");
+    }
     common::Result<DatasetInfo> info = registry_.Register(
-        path->AsString(), moments != nullptr ? moments->AsString() : "");
+        path->AsString(), moments != nullptr ? moments->AsString() : "",
+        samples != nullptr ? samples->AsString() : "");
     if (!info.ok()) return StatusResponse(info.status());
     common::JsonWriter w;
     AppendDatasetJson(&w, info.ValueOrDie());

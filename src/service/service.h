@@ -4,7 +4,8 @@
 //
 //   GET    /healthz              liveness ("ok" once routable)
 //   GET    /v1/algorithms        registered clusterer names
-//   POST   /v1/datasets          {"path": ..., "moments_path"?: ...} -> 201
+//   POST   /v1/datasets          {"path": ..., "moments_path"?: ...,
+//                                 "samples_path"?: ...} -> 201
 //   GET    /v1/datasets          registration list
 //   GET    /v1/datasets/{id}     one registration
 //   POST   /v1/jobs              JobSpec body -> 202 {"job_id", "state"}

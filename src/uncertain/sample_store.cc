@@ -1,0 +1,81 @@
+#include "uncertain/sample_store.h"
+
+#include <cassert>
+
+#include "common/math_utils.h"
+#include "engine/parallel_for.h"
+
+namespace uclust::uncertain {
+
+std::string SampleBackendName(SampleBackend backend) {
+  return backend == SampleBackend::kResident ? "resident" : "mapped";
+}
+
+void DrawObjectSamples(const UncertainObject& object, uint64_t seed,
+                       std::size_t index, int samples_per_object,
+                       std::span<double> out) {
+  const std::size_t m = object.dims();
+  assert(out.size() == static_cast<std::size_t>(samples_per_object) * m);
+  common::Rng rng(common::DeriveSeed(seed, index));
+  std::size_t off = 0;
+  for (int s = 0; s < samples_per_object; ++s) {
+    object.SampleInto(&rng, out.subspan(off, m));
+    off += m;
+  }
+}
+
+SampleChunkSource::~SampleChunkSource() = default;
+
+double SampleView::ExpectedSquaredDistanceToPoint(
+    std::size_t i, std::span<const double> y) const {
+  const std::span<const double> row = ObjectSamples(i);
+  double acc = 0.0;
+  for (int s = 0; s < samples_; ++s) {
+    acc += common::SquaredDistance(
+        row.subspan(static_cast<std::size_t>(s) * m_, m_), y);
+  }
+  return acc / samples_;
+}
+
+double SampleView::DistanceProbability(std::size_t i, std::size_t j,
+                                       double eps) const {
+  const std::span<const double> ri = ObjectSamples(i);
+  const std::span<const double> rj = ObjectSamples(j);
+  const double eps2 = eps * eps;
+  int hits = 0;
+  for (int s = 0; s < samples_; ++s) {
+    const std::size_t off = static_cast<std::size_t>(s) * m_;
+    if (common::SquaredDistance(ri.subspan(off, m_), rj.subspan(off, m_)) <=
+        eps2) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / samples_;
+}
+
+SampleStore::~SampleStore() = default;
+
+const std::string& SampleStore::sidecar_path() const {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+
+ResidentSampleStore::ResidentSampleStore(
+    std::span<const UncertainObject> objects, int samples_per_object,
+    uint64_t seed, const engine::Engine& eng)
+    : count_(objects.size()),
+      samples_(samples_per_object),
+      dims_(objects.empty() ? 0 : objects[0].dims()) {
+  assert(samples_per_object > 0);
+  const std::size_t row = static_cast<std::size_t>(samples_) * dims_;
+  data_.resize(count_ * row);
+  engine::ParallelFor(eng, count_, [&](const engine::BlockedRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      assert(objects[i].dims() == dims_);
+      DrawObjectSamples(objects[i], seed, i, samples_,
+                        std::span<double>(data_.data() + i * row, row));
+    }
+  });
+}
+
+}  // namespace uclust::uncertain

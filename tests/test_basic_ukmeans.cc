@@ -15,7 +15,7 @@
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
 #include "eval/external.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 namespace {
@@ -37,7 +37,8 @@ data::UncertainDataset PlantedDataset(std::size_t n, int classes,
 
 TEST(Pruning, MinMaxBoundsBracketSampledEd) {
   const auto ds = PlantedDataset(50, 3, 1);
-  const uncertain::SampleCache cache(ds.objects(), 16, 99);
+  const uncertain::ResidentSampleStore store(ds.objects(), 16, 99);
+  const uncertain::SampleView cache = store.view();
   common::Rng rng(2);
   for (int t = 0; t < 200; ++t) {
     const std::size_t i = rng.Index(ds.size());
@@ -52,7 +53,8 @@ TEST(Pruning, MinMaxBoundsBracketSampledEd) {
 
 TEST(Pruning, ShiftBoundsBracketMovedCentroidEd) {
   const auto ds = PlantedDataset(30, 2, 3);
-  const uncertain::SampleCache cache(ds.objects(), 32, 77);
+  const uncertain::ResidentSampleStore store(ds.objects(), 32, 77);
+  const uncertain::SampleView cache = store.view();
   common::Rng rng(4);
   for (int t = 0; t < 200; ++t) {
     const std::size_t i = rng.Index(ds.size());

@@ -1,7 +1,7 @@
 // Determinism regression for the synthetic generator (src/data/synthetic_gen,
 // the core behind tools/dataset_gen): equal parameters — in particular an
 // equal seed — must produce byte-identical .ubin datasets and byte-identical
-// .umom moment sidecars across runs. The bench/CI scripts lean on this to
+// .umom moment / .usmp sample sidecars across runs. The bench/CI scripts lean on this to
 // reuse generated fixtures by content, and the CK-means streamed tests lean
 // on it to regenerate identical inputs per test case.
 #include <cstdint>
@@ -16,6 +16,7 @@
 #include "data/synthetic_gen.h"
 #include "io/dataset_reader.h"
 #include "io/ingest.h"
+#include "io/sample_file.h"
 
 namespace uclust {
 namespace {
@@ -100,6 +101,50 @@ TEST(DatasetGenDeterminism, SameSeedProducesByteIdenticalMomentSidecars) {
   std::remove(path_b.c_str());
   std::remove(umom_a.c_str());
   std::remove(umom_b.c_str());
+}
+
+TEST(DatasetGenDeterminism, SameSeedProducesByteIdenticalSampleSidecars) {
+  const std::string path_a = TempPath("gen_smp_a.ubin");
+  const std::string path_b = TempPath("gen_smp_b.ubin");
+  const std::string usmp_a = TempPath("gen_smp_a.usmp");
+  const std::string usmp_b = TempPath("gen_smp_b.usmp");
+  ASSERT_TRUE(
+      data::WriteSyntheticDataset(SmallParams(9), path_a, "gen").ok());
+  ASSERT_TRUE(
+      data::WriteSyntheticDataset(SmallParams(9), path_b, "gen").ok());
+
+  // Like the moment sidecar, the .usmp header records the source mtime for
+  // its staleness guard; pin both sources to one timestamp so only
+  // content-derived bytes can differ.
+  const auto stamp = std::filesystem::last_write_time(path_a);
+  std::filesystem::last_write_time(path_b, stamp);
+
+  ASSERT_TRUE(io::BuildSampleSidecar(path_a, usmp_a, /*samples_per_object=*/8,
+                                     /*seed=*/0x5eed)
+                  .ok());
+  ASSERT_TRUE(io::BuildSampleSidecar(path_b, usmp_b, /*samples_per_object=*/8,
+                                     /*seed=*/0x5eed)
+                  .ok());
+  const std::vector<char> bytes_a = ReadAllBytes(usmp_a);
+  const std::vector<char> bytes_b = ReadAllBytes(usmp_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_TRUE(bytes_a == bytes_b)
+      << "same-seed runs wrote different sample sidecar bytes";
+
+  // A different draw seed must change the sample bytes (and the header's
+  // reuse-guard seed field).
+  const std::string usmp_c = TempPath("gen_smp_c.usmp");
+  ASSERT_TRUE(io::BuildSampleSidecar(path_a, usmp_c, /*samples_per_object=*/8,
+                                     /*seed=*/0x5eee)
+                  .ok());
+  EXPECT_FALSE(ReadAllBytes(usmp_c) == bytes_a)
+      << "--sample_seed has no effect on the drawn realizations";
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  std::remove(usmp_a.c_str());
+  std::remove(usmp_b.c_str());
+  std::remove(usmp_c.c_str());
 }
 
 TEST(DatasetGenDeterminism, GeneratedFileRoundTripsThroughReader) {

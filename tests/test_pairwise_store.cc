@@ -17,7 +17,7 @@
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 namespace {
@@ -48,7 +48,8 @@ TEST(PairwiseStore, BackendsServeBitIdenticalValues) {
   const auto ds = TestDataset(61, 3, 3, 11);
   const std::size_t n = ds.size();
   const engine::Engine eng;
-  const uncertain::SampleCache cache(ds.objects(), 12, 0x5eed, eng);
+  const uncertain::ResidentSampleStore store(ds.objects(), 12, 0x5eed, eng);
+  const uncertain::SampleView cache = store.view();
   const kernels::PairwiseKernel kernels_under_test[] = {
       kernels::PairwiseKernel::ClosedFormED2(ds.objects()),
       kernels::PairwiseKernel::SampleED2(cache),

@@ -13,15 +13,19 @@
 
 #include "clustering/basic_ukmeans.h"
 #include "clustering/ckmeans.h"
+#include "clustering/fdbscan.h"
+#include "clustering/foptics.h"
 #include "clustering/mmvar.h"
 #include "clustering/registry.h"
 #include "clustering/simd/simd.h"
 #include "clustering/ucpc.h"
 #include "clustering/ukmeans.h"
+#include "clustering/ukmedoids.h"
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
-#include "uncertain/sample_cache.h"
+#include "io/sample_file.h"
+#include "uncertain/sample_store.h"
 
 namespace uclust::clustering {
 namespace {
@@ -179,20 +183,147 @@ TEST(ParallelDeterminism, MmvarBitIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(ParallelDeterminism, SampleCacheContentsBitIdentical) {
+TEST(ParallelDeterminism, ResidentSampleContentsBitIdentical) {
   const auto ds = TestDataset(300, 3, 3, 37);
-  const uncertain::SampleCache serial(ds.objects(), 16, 0x5eed, EngineWith(1));
+  const uncertain::ResidentSampleStore serial(ds.objects(), 16, 0x5eed,
+                                              EngineWith(1));
+  const uncertain::SampleView sv = serial.view();
   for (int threads : kThreadCounts) {
-    const uncertain::SampleCache parallel(ds.objects(), 16, 0x5eed,
-                                          EngineWith(threads));
-    ASSERT_EQ(parallel.size(), serial.size());
-    for (std::size_t i = 0; i < serial.size(); ++i) {
-      for (int s = 0; s < serial.samples_per_object(); ++s) {
-        const auto a = serial.SampleOf(i, s);
-        const auto b = parallel.SampleOf(i, s);
+    const uncertain::ResidentSampleStore parallel(ds.objects(), 16, 0x5eed,
+                                                  EngineWith(threads));
+    const uncertain::SampleView pv = parallel.view();
+    ASSERT_EQ(pv.size(), sv.size());
+    for (std::size_t i = 0; i < sv.size(); ++i) {
+      for (int s = 0; s < sv.samples_per_object(); ++s) {
+        const auto a = sv.SampleOf(i, s);
+        const auto b = pv.SampleOf(i, s);
         ASSERT_EQ(std::vector<double>(a.begin(), a.end()),
                   std::vector<double>(b.begin(), b.end()))
             << "object " << i << " sample " << s << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Regression for the latent draw-order bug class: object i's sample bytes
+// must be a pure function of (pdf, seed, i, S) — never of which objects were
+// materialized first or in what order. A visitation-order-dependent rng
+// (e.g. one shared stream advanced per draw) would pass the thread-count
+// test at num_threads=1 yet change bytes whenever the fill order changes;
+// this pins the bytes against per-object draws issued in REVERSE order and
+// one-object-at-a-time.
+TEST(ParallelDeterminism, SampleBytesIndependentOfMaterializationOrder) {
+  const auto ds = TestDataset(120, 3, 3, 47);
+  const int s_per = 8;
+  const uint64_t seed = 0x5eed;
+  const uncertain::ResidentSampleStore store(ds.objects(), s_per, seed,
+                                             EngineWith(8));
+  const uncertain::SampleView view = store.view();
+  const std::size_t row = static_cast<std::size_t>(s_per) * ds.dims();
+  std::vector<double> out(row);
+  for (std::size_t rev = ds.size(); rev-- > 0;) {
+    uncertain::DrawObjectSamples(ds.object(rev), seed, rev, s_per, out);
+    const auto got = view.ObjectSamples(rev);
+    ASSERT_EQ(std::vector<double>(got.begin(), got.end()), out)
+        << "object " << rev << " depends on materialization order";
+  }
+}
+
+// Same guarantee on the mapped backend, against its chunk-fault order: a
+// chunked view must serve identical bytes whether chunks are faulted
+// front-to-back or back-to-front (and regardless of the window LRU state in
+// between).
+TEST(ParallelDeterminism, MappedSampleBytesIndependentOfFaultOrder) {
+  const auto ds = TestDataset(120, 3, 3, 49);
+  const uncertain::ResidentSampleStore resident(ds.objects(), 8, 0x5eed,
+                                                EngineWith(1));
+  const std::string sidecar =
+      ::testing::TempDir() + "determinism_fault_order.usmp";
+  ASSERT_TRUE(io::WriteSampleFile(resident.view(), sidecar, 0x5eed,
+                                  /*chunk_rows=*/16)
+                  .ok());
+  auto opened = io::MappedSampleStore::Open(sidecar);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const uncertain::SampleView mapped = opened.ValueOrDie()->view();
+  const uncertain::SampleView flat = resident.view();
+  const auto expect_row = [&](std::size_t i) {
+    const auto a = flat.ObjectSamples(i);
+    const auto b = mapped.ObjectSamples(i);
+    ASSERT_EQ(std::vector<double>(a.begin(), a.end()),
+              std::vector<double>(b.begin(), b.end()))
+        << "object " << i;
+  };
+  for (std::size_t i = 0; i < ds.size(); ++i) expect_row(i);   // forward
+  for (std::size_t i = ds.size(); i-- > 0;) expect_row(i);     // backward
+  std::remove(sidecar.c_str());
+}
+
+// Sampled-workload determinism sweep: for each sampled algorithm, the
+// clustering must be bit-identical across the sample backend (Resident vs
+// the mmap-backed .usmp spill), the sidecar chunk size, and the thread
+// count — labels, objective, iteration count, and both evaluation counters.
+// The mapped arm's budget sits between the pairwise table (60^2 doubles)
+// and the sample block (60 * S * 3 doubles), so ONLY the sample backend
+// flips; the pairwise store stays dense in every arm and the counters are
+// comparable across the whole sweep.
+TEST(ParallelDeterminism, SampledWorkloadsBitIdenticalAcrossSampleBackends) {
+  const auto ds = TestDataset(60, 3, 3, 51);
+  // Dense pairwise table: 60 * 60 * 8 = 28800 bytes. Smallest sample block
+  // in the sweep: 60 * 24 * 3 * 8 = 34560 bytes.
+  const std::size_t mapped_budget = 30000;
+  const auto make = [](const std::string& name,
+                       int threads, std::size_t budget,
+                       std::size_t chunk_rows)
+      -> std::unique_ptr<Clusterer> {
+    engine::EngineConfig config;
+    config.num_threads = threads;
+    config.block_size = 32;
+    config.memory_budget_bytes = budget;
+    config.sample_chunk_rows = chunk_rows;
+    const engine::Engine eng(config);
+    if (name == "UK-medoids") {
+      UkMedoids::Params p;
+      p.use_closed_form = false;  // the sampled fuzzy-distance mode
+      auto algo = std::make_unique<UkMedoids>(p);
+      algo->set_engine(eng);
+      return algo;
+    }
+    if (name == "FDBSCAN") {
+      auto algo = std::make_unique<Fdbscan>();
+      algo->set_engine(eng);
+      return algo;
+    }
+    auto algo = std::make_unique<Foptics>();
+    algo->set_engine(eng);
+    return algo;
+  };
+  for (const std::string& name :
+       {std::string("UK-medoids"), std::string("FDBSCAN"),
+        std::string("FOPTICS")}) {
+    const ClusteringResult baseline =
+        make(name, 1, 0, 16)->Cluster(ds, 3, 13);
+    EXPECT_EQ(baseline.pairwise_backend, "dense") << name;
+    for (const std::size_t budget : {std::size_t{0}, mapped_budget}) {
+      for (const std::size_t chunk_rows : {std::size_t{16}, std::size_t{64}}) {
+        for (int threads : kThreadCounts) {
+          const ClusteringResult out =
+              make(name, threads, budget, chunk_rows)->Cluster(ds, 3, 13);
+          const auto label = [&] {
+            return name + " budget=" + std::to_string(budget) +
+                   " chunk=" + std::to_string(chunk_rows) +
+                   " threads=" + std::to_string(threads);
+          };
+          EXPECT_EQ(out.pairwise_backend, baseline.pairwise_backend)
+              << label();
+          EXPECT_EQ(out.labels, baseline.labels) << label();
+          if (!std::isnan(baseline.objective)) {
+            EXPECT_EQ(out.objective, baseline.objective) << label();
+          }
+          EXPECT_EQ(out.iterations, baseline.iterations) << label();
+          EXPECT_EQ(out.ed_evaluations, baseline.ed_evaluations) << label();
+          EXPECT_EQ(out.pair_evaluations, baseline.pair_evaluations)
+              << label();
+        }
       }
     }
   }

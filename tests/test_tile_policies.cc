@@ -18,7 +18,7 @@
 #include "data/benchmark_gen.h"
 #include "data/uncertainty_model.h"
 #include "engine/engine.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 #include "uncertain/uniform_pdf.h"
 
 namespace uclust::clustering {
@@ -406,7 +406,8 @@ TEST(TilePolicies, FdbscanIndexedSweepCounterIdentical) {
 TEST(TilePolicies, PairwiseBoundIndexLowerBoundsSampleDistances) {
   const auto ds = TestDataset(40, 3, 3, 127);
   const engine::Engine eng;
-  const uncertain::SampleCache cache(ds.objects(), 16, 0x5eed, eng);
+  const uncertain::ResidentSampleStore store(ds.objects(), 16, 0x5eed, eng);
+  const uncertain::SampleView cache = store.view();
   const PairwiseBoundIndex bounds(ds.objects());
   for (std::size_t i = 0; i < ds.size(); ++i) {
     for (std::size_t j = i + 1; j < ds.size(); ++j) {

@@ -1,5 +1,5 @@
 // Tests for Box geometry, UncertainObject moment aggregation, MomentMatrix
-// packing, and the SampleCache.
+// packing, and the Resident sample store.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,7 +9,7 @@
 #include "uncertain/dirac_pdf.h"
 #include "uncertain/moments.h"
 #include "uncertain/normal_pdf.h"
-#include "uncertain/sample_cache.h"
+#include "uncertain/sample_store.h"
 #include "uncertain/uncertain_object.h"
 #include "uncertain/uniform_pdf.h"
 
@@ -189,12 +189,14 @@ TEST(MomentMatrix, AppendRowsDirectly) {
   EXPECT_DOUBLE_EQ(mm.mean(0)[2], 3.0);
 }
 
-TEST(SampleCache, ShapesAndDeterminism) {
+TEST(SampleStore, ShapesAndDeterminism) {
   std::vector<UncertainObject> objs;
   objs.push_back(MakeObject2D(0.0, 1.0, 0.0, 1.0));
   objs.push_back(MakeObject2D(5.0, 0.5, -5.0, 0.5));
-  const SampleCache a(objs, 16, 99);
-  const SampleCache b(objs, 16, 99);
+  const ResidentSampleStore sa(objs, 16, 99);
+  const ResidentSampleStore sb(objs, 16, 99);
+  const SampleView a = sa.view();
+  const SampleView b = sb.view();
   EXPECT_EQ(a.size(), 2u);
   EXPECT_EQ(a.samples_per_object(), 16);
   EXPECT_EQ(a.dims(), 2u);
@@ -206,19 +208,21 @@ TEST(SampleCache, ShapesAndDeterminism) {
   }
 }
 
-TEST(SampleCache, SamplesInsideRegions) {
+TEST(SampleStore, SamplesInsideRegions) {
   std::vector<UncertainObject> objs;
   objs.push_back(MakeObject2D(0.0, 2.0, 1.0, 0.5));
-  const SampleCache cache(objs, 64, 7);
+  const ResidentSampleStore store(objs, 64, 7);
+  const SampleView cache = store.view();
   for (int s = 0; s < 64; ++s) {
     EXPECT_TRUE(objs[0].region().Contains(cache.SampleOf(0, s)));
   }
 }
 
-TEST(SampleCache, ExpectedDistanceEstimatorConverges) {
+TEST(SampleStore, ExpectedDistanceEstimatorConverges) {
   std::vector<UncertainObject> objs;
   objs.push_back(MakeObject2D(1.0, 0.5, -1.0, 0.5));
-  const SampleCache cache(objs, 4096, 3);
+  const ResidentSampleStore store(objs, 4096, 3);
+  const SampleView cache = store.view();
   const std::vector<double> y{0.0, 0.0};
   const double est = cache.ExpectedSquaredDistanceToPoint(0, y);
   // Closed form: sigma^2(o) + ||mu - y||^2.
@@ -226,12 +230,13 @@ TEST(SampleCache, ExpectedDistanceEstimatorConverges) {
   EXPECT_NEAR(est, exact, 0.05);
 }
 
-TEST(SampleCache, DistanceProbabilityEndpoints) {
+TEST(SampleStore, DistanceProbabilityEndpoints) {
   std::vector<UncertainObject> objs;
   objs.push_back(MakeObject2D(0.0, 0.1, 0.0, 0.1));
   objs.push_back(MakeObject2D(0.0, 0.1, 0.0, 0.1));
   objs.push_back(MakeObject2D(100.0, 0.1, 100.0, 0.1));
-  const SampleCache cache(objs, 32, 5);
+  const ResidentSampleStore store(objs, 32, 5);
+  const SampleView cache = store.view();
   // Near-identical objects: always within a huge radius.
   EXPECT_DOUBLE_EQ(cache.DistanceProbability(0, 1, 10.0), 1.0);
   // Distant object: never within a small radius.

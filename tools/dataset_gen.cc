@@ -29,12 +29,24 @@
 //                     dataset in a second bounded-memory pass, so bench runs
 //                     on the Mapped moment backend can reuse it instead of
 //                     re-ingesting (see src/io/moment_file.h)
+//   --emit-samples=PATH.usmp  also build the Monte-Carlo sample sidecar
+//                     (S realizations per object, drawn through the
+//                     canonical uncertain::DrawObjectSamples sub-streams) in
+//                     a bounded-memory pass, so Mapped-sample-backend runs
+//                     reuse it instead of spilling (see src/io/sample_file.h)
+//   --samples_per_object=S    realizations per object      (default 32)
+//   --sample_seed=S   master draw seed for --emit-samples
+//                                                    (default 0x5eedbeef)
 //
-// Engine knobs (--threads, --moment_chunk_rows, ...) are parsed strictly
-// through the canonical common::ParseEngineFlags table and drive the
-// sidecar pass: --moment_chunk_rows sets the chunk rows (rounded up to a
-// power of two; 0 = format default) and --threads parallelizes the moment
-// packing.
+// Engine knobs (--threads, --moment_chunk_rows, --sample_chunk_rows, ...)
+// are parsed strictly through the canonical common::ParseEngineFlags table
+// and drive the sidecar passes: the chunk-rows knobs set the respective
+// sidecar chunk rows (rounded up to a power of two; 0 = format default) and
+// --threads parallelizes the packing/drawing.
+//
+// Equal flags produce byte-identical sidecars too: the sample bytes for
+// object i are a pure function of (pdf records, sample seed, i, S), never
+// of thread count or batch boundaries (tests/test_dataset_gen.cc).
 #include <cstdio>
 #include <string>
 
@@ -42,6 +54,7 @@
 #include "data/synthetic_gen.h"
 #include "engine/engine.h"
 #include "io/ingest.h"
+#include "io/sample_file.h"
 
 namespace {
 
@@ -110,6 +123,28 @@ int main(int argc, char** argv) {
     }
     std::printf("[dataset_gen] wrote moment sidecar -> %s\n",
                 moments_path.c_str());
+  }
+
+  // Optional third pass: precompute the .usmp sample sidecar so sampled
+  // clusterers on the Mapped sample backend reuse it (matched via the
+  // n/m/S/seed/source staleness guard) instead of re-drawing into a spill.
+  const std::string samples_path = args.GetString("emit-samples", "");
+  if (!samples_path.empty()) {
+    const int samples_per_object =
+        static_cast<int>(args.GetInt("samples_per_object", 32));
+    const uint64_t sample_seed = static_cast<uint64_t>(
+        args.GetInt("sample_seed", 0x5eedbeefLL));
+    st = io::BuildSampleSidecar(out_path, samples_path, samples_per_object,
+                                sample_seed, engine::Engine(engine_cfg),
+                                engine_cfg.sample_chunk_rows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "dataset_gen: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "[dataset_gen] wrote sample sidecar S=%d sample_seed=%llu -> %s\n",
+        samples_per_object, static_cast<unsigned long long>(sample_seed),
+        samples_path.c_str());
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 //                         0 = unlimited                    (default 0)
 //   --register=PATH       pre-register one dataset at boot
 //   --register_moments=PATH.umom   its optional moment sidecar
+//   --register_samples=PATH.usmp   its optional sample sidecar
 //
 // Prints `SERVE LISTENING port=<port>` once routable (CI and scripts parse
 // it — with --port=0 this is the only way to learn the bound port), then
@@ -61,7 +62,8 @@ int main(int argc, char** argv) {
   const std::string preregister = args.GetString("register", "");
   if (!preregister.empty()) {
     common::Result<service::DatasetInfo> info = svc.registry().Register(
-        preregister, args.GetString("register_moments", ""));
+        preregister, args.GetString("register_moments", ""),
+        args.GetString("register_samples", ""));
     if (!info.ok()) {
       std::fprintf(stderr, "serve: %s\n", info.status().ToString().c_str());
       return 1;
