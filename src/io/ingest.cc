@@ -48,13 +48,15 @@ common::Status BuildMomentSidecar(const std::string& dataset_path,
                                   std::size_t batch_size) {
   BinaryDatasetReader reader;
   UCLUST_RETURN_NOT_OK(reader.Open(dataset_path));
-  // Build into a temp sibling and rename into place only on success: a
-  // rebuild that fails midway (disk full, malformed source record, kill)
+  // Build into a unique temp sibling and rename into place only on success:
+  // a rebuild that fails midway (disk full, malformed source record, kill)
   // must never destroy a previously valid — and possibly expensive —
   // sidecar, and a concurrent reader serving windows from the old file
   // keeps its consistent view (the rename unlinks the name, not the open
-  // inode).
-  const std::string tmp_path = sidecar_path + ".tmp";
+  // inode). The per-call scratch name keeps concurrent rebuilds of one
+  // sidecar (e.g. two service jobs with different chunk shapes) from
+  // interleaving writes into a shared tmp inode.
+  const std::string tmp_path = UniqueScratchSiblingPath(sidecar_path);
   auto build = [&]() -> common::Status {
     MomentFileWriter writer;
     UCLUST_RETURN_NOT_OK(writer.Open(tmp_path, reader.dims(), chunk_rows,

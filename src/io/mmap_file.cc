@@ -1,5 +1,8 @@
 #include "io/mmap_file.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -132,6 +135,30 @@ std::uint64_t FileProbeHash(const std::string& path) {
   mix(head, head_len);
   mix(tail, tail_len);
   return h;
+}
+
+std::uint64_t ProcessUniqueToken() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  // No getpid: ASLR-derived address entropy mixed with the first-call tick.
+  static const std::uint64_t token =
+      (static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&token)) >>
+       4) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  return token;
+#endif
+}
+
+std::string UniqueScratchSiblingPath(const std::string& path) {
+  static std::atomic<std::uint64_t> next{1};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp-%llx-%llu",
+                static_cast<unsigned long long>(ProcessUniqueToken()),
+                static_cast<unsigned long long>(
+                    next.fetch_add(1, std::memory_order_relaxed)));
+  return path + suffix;
 }
 
 common::Result<MappedRegion> MapFileRegion(int fd, const std::string& path,

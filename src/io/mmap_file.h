@@ -78,6 +78,20 @@ std::uint64_t FileMTimeTicks(const std::string& path);
 /// mtime tick still differ here unless their probed bytes match.
 std::uint64_t FileProbeHash(const std::string& path);
 
+/// Process-unique token for scratch-file names: getpid where available,
+/// ASLR-derived entropy elsewhere, so two processes sharing a directory
+/// still produce distinct generated names.
+std::uint64_t ProcessUniqueToken();
+
+/// A sibling scratch path `<path>.tmp-<token>-<counter>`, unique per
+/// (process, call). Sidecar rebuilds write here and rename into place on
+/// success: concurrent rebuilds of one sidecar may race the rename (equal
+/// parameters produce identical bytes, so last-wins is harmless) but must
+/// never interleave writes into one shared tmp inode — a mixed file has
+/// exactly the expected size and a clean header, so it passes validation
+/// while serving wrong bytes.
+std::string UniqueScratchSiblingPath(const std::string& path);
+
 }  // namespace uclust::io
 
 #endif  // UCLUST_IO_MMAP_FILE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -381,10 +383,11 @@ common::Status WriteSampleFile(const uncertain::SampleView& view,
 
 namespace {
 
-// Shared tail of the two sidecar builders: temp sibling + rename into place
-// only on success, so a failed rebuild never destroys a previously valid
-// sidecar (and a concurrent reader keeps its consistent view of the old
-// inode).
+// Shared tail of the two sidecar builders: unique temp sibling
+// (UniqueScratchSiblingPath — concurrent rebuilds must never interleave
+// into one tmp inode) + rename into place only on success, so a failed
+// rebuild never destroys a previously valid sidecar (and a concurrent
+// reader keeps its consistent view of the old inode).
 common::Status CommitSidecar(const std::string& tmp_path,
                              const std::string& sidecar_path,
                              const common::Status& built) {
@@ -416,7 +419,7 @@ common::Status BuildSampleSidecar(const std::string& dataset_path,
   }
   BinaryDatasetReader reader;
   UCLUST_RETURN_NOT_OK(reader.Open(dataset_path));
-  const std::string tmp_path = sidecar_path + ".tmp";
+  const std::string tmp_path = UniqueScratchSiblingPath(sidecar_path);
   auto build = [&]() -> common::Status {
     SampleFileWriter writer;
     UCLUST_RETURN_NOT_OK(writer.Open(tmp_path, reader.dims(),
@@ -463,7 +466,7 @@ common::Status BuildSampleSidecarFromObjects(
     std::size_t chunk_rows, uint64_t source_size, uint64_t source_mtime,
     uint64_t source_probe) {
   const std::size_t m = objects.empty() ? 1 : objects[0].dims();
-  const std::string tmp_path = sidecar_path + ".tmp";
+  const std::string tmp_path = UniqueScratchSiblingPath(sidecar_path);
   auto build = [&]() -> common::Status {
     SampleFileWriter writer;
     UCLUST_RETURN_NOT_OK(writer.Open(tmp_path, m, samples_per_object, seed,
@@ -495,19 +498,18 @@ std::string DefaultSampleSidecarPath(const std::string& dataset_path,
 namespace {
 
 // Temp spill location for in-memory datasets: unique per (process, call) so
-// concurrent stores never collide; the store unlinks it on destruction.
+// concurrent stores never collide — two stores sharing a spill name would
+// each unlink it on close, deleting the other's live file; the store unlinks
+// it on destruction.
 std::string TempSpillPath() {
   static std::atomic<uint64_t> next{1};
   const uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
-  long pid = 0;
-#if defined(__unix__) || defined(__APPLE__)
-  pid = static_cast<long>(::getpid());
-#endif
   std::error_code ec;
   std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
   if (ec) dir = ".";
   char name[96];
-  std::snprintf(name, sizeof(name), "uclust-samples-%ld-%llu.usmp", pid,
+  std::snprintf(name, sizeof(name), "uclust-samples-%llx-%llu.usmp",
+                static_cast<unsigned long long>(ProcessUniqueToken()),
                 static_cast<unsigned long long>(id));
   return (dir / name).string();
 }
@@ -546,7 +548,23 @@ common::Result<uncertain::SampleStorePtr> MakeSampleStore(
   // durable to key a reusable file off).
   const std::string& source = data.source_path();
   std::string sidecar = options.sidecar_path;
-  if (sidecar.empty()) sidecar = data.samples_sidecar_path();
+  if (sidecar.empty()) {
+    // The annotated sidecar is one pinned artifact drawn with one (S, seed);
+    // every sampled algorithm carries a distinct default seed, so honoring
+    // the pin for a mismatched request would rebuild-overwrite the shared
+    // file on every alternating job — exactly the churn the param-encoded
+    // default path exists to avoid. Use the pin only when its header matches
+    // the request; otherwise fall through to the default location.
+    const std::string& annotated = data.samples_sidecar_path();
+    if (!annotated.empty()) {
+      auto pinned = ReadSampleFileInfo(annotated);
+      if (pinned.ok() &&
+          pinned.ValueOrDie().samples_per_object == samples_per_object &&
+          pinned.ValueOrDie().seed == seed) {
+        sidecar = annotated;
+      }
+    }
+  }
   if (sidecar.empty() && !source.empty()) {
     sidecar = DefaultSampleSidecarPath(source, samples_per_object, seed);
   }

@@ -3,8 +3,9 @@
 // for any builder batch partition), corrupt/truncated/foreign-endian .usmp
 // sidecars are rejected instead of mis-parsed, sidecar reuse honors the
 // extended staleness guard (source size/mtime/probe PLUS samples-per-object
-// and draw seed), temp spills self-delete, and the factory's failure policy
-// falls back to the Resident backend.
+// and draw seed), a registry-annotated sidecar pin is honored only when its
+// header matches the requested (S, seed), temp spills self-delete, and the
+// factory's failure policy falls back to the Resident backend.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -480,13 +481,64 @@ TEST(SampleStoreTest, DefaultSidecarIsReusedAcrossFactoryCalls) {
   std::remove(path.c_str());
 }
 
+TEST(SampleStoreTest, AnnotatedSidecarReusedOnlyWhenHeaderMatches) {
+  // A registry-annotated sidecar pins one (S, seed) artifact. A matching
+  // request must reuse it in place; a mismatched request must leave the
+  // pinned bytes untouched and fall through to the param-encoded default
+  // path — each sampled algorithm carries a distinct default sample_seed,
+  // so honoring the pin unconditionally would rebuild-overwrite the shared
+  // file on every alternating job.
+  const auto objects = MakeTestObjects(25, 2, /*seed=*/83);
+  const std::string path = WriteTestFile("smp_annotated.ubin", objects);
+  auto ds = LoadDataset(path);
+  const std::string pinned = TempPath("smp_annotated_pin.usmp");
+  {
+    // Emit the pinned artifact with seed 0x5eed (as dataset_gen would).
+    const SampleStorePtr store =
+        OpenStore(ds, 4, 0x5eed, io::SampleBackendChoice::kMapped,
+                  engine::Engine::Serial(), /*chunk_rows=*/0, pinned);
+    EXPECT_EQ(pinned, store->sidecar_path());
+  }
+  ds.set_samples_sidecar_path(pinned);
+  const std::vector<char> pinned_bytes = ReadFileBytes(pinned);
+
+  {
+    // Matching (S, seed): the pin is honored.
+    const SampleStorePtr store =
+        OpenStore(ds, 4, 0x5eed, io::SampleBackendChoice::kMapped);
+    EXPECT_EQ(pinned, store->sidecar_path());
+  }
+  {
+    // Mismatched seed: the store lands on the default sibling and the
+    // pinned file survives bit-for-bit.
+    const SampleStorePtr store =
+        OpenStore(ds, 4, 0x5eee, io::SampleBackendChoice::kMapped);
+    EXPECT_EQ(io::DefaultSampleSidecarPath(path, 4, 0x5eee),
+              store->sidecar_path());
+    EXPECT_EQ(pinned_bytes, ReadFileBytes(pinned));
+  }
+  {
+    // Mismatched samples-per-object likewise.
+    const SampleStorePtr store =
+        OpenStore(ds, 8, 0x5eed, io::SampleBackendChoice::kMapped);
+    EXPECT_EQ(io::DefaultSampleSidecarPath(path, 8, 0x5eed),
+              store->sidecar_path());
+    EXPECT_EQ(pinned_bytes, ReadFileBytes(pinned));
+  }
+  std::remove(io::DefaultSampleSidecarPath(path, 4, 0x5eee).c_str());
+  std::remove(io::DefaultSampleSidecarPath(path, 8, 0x5eed).c_str());
+  std::remove(pinned.c_str());
+  std::remove(path.c_str());
+}
+
 TEST(SampleStoreTest, FactoryFailureFallsBackToResident) {
-  // The clusterer-facing wrapper has no status channel: an unwritable
-  // sidecar location must degrade to the (value-identical) Resident
-  // backend instead of failing the clustering.
+  // The clusterer-facing wrapper has no status channel: a factory failure
+  // (here a source annotation that cannot be stat'ed for the staleness
+  // guard) must degrade to the (value-identical) Resident backend instead
+  // of failing the clustering.
   const auto objects = MakeTestObjects(20, 2, /*seed=*/95);
   data::UncertainDataset ds("inmem", objects, {}, 0);
-  ds.set_samples_sidecar_path("/nonexistent-dir/unwritable.usmp");
+  ds.set_source_path("/nonexistent-dir/missing.ubin");
   engine::EngineConfig config;
   config.memory_budget_bytes = 1;  // forces the Mapped choice
   const SampleStorePtr store =

@@ -37,6 +37,14 @@
 //   --samples_per_object=S    realizations per object      (default 32)
 //   --sample_seed=S   master draw seed for --emit-samples
 //                                                    (default 0x5eedbeef)
+//                     Reuse is keyed on (samples_per_object, seed), and each
+//                     sampled algorithm has its own default sample_seed:
+//                     UK-medoids 0x5eedbeef (this flag's default), FDBSCAN
+//                     0x5eedf00d, FOPTICS 0x5eedfade, basic UK-means
+//                     0x5eedcafe. Emit one sidecar per target seed (or run
+//                     the clusterer with a matching --sample_seed); a
+//                     mismatched sidecar is never reused — the run falls
+//                     back to its own param-encoded sibling file.
 //
 // Engine knobs (--threads, --moment_chunk_rows, --sample_chunk_rows, ...)
 // are parsed strictly through the canonical common::ParseEngineFlags table
